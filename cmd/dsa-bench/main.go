@@ -1,0 +1,73 @@
+// Command dsa-bench regenerates the paper's evaluation artifacts (every
+// table and figure) on the simulated platform and renders them as text
+// tables or CSV.
+//
+// Usage:
+//
+//	dsa-bench                  # run everything
+//	dsa-bench -list            # list experiment ids
+//	dsa-bench -run fig3,fig10  # run a subset
+//	dsa-bench -csv dir         # also write one CSV per table into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dsasim/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []exp.Experiment
+	if *run == "" {
+		todo = exp.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables := e.Run()
+		fmt.Printf("\n### %s (%s) [%v]\n\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			fmt.Println(t.String())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Packetswitch: the paper's DPDK Vhost case study (§6.4) end to end — a
+// VirtIO backend forwarding packet bursts into guest memory, comparing the
+// CPU copy path against the DSA batch-offload pipeline across packet sizes,
+// and verifying in-order, intact delivery.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dsasim"
+	"dsasim/internal/dsa"
+	"dsasim/internal/sim"
+	"dsasim/internal/vhost"
+)
+
+func forwardingRate(mode vhost.Mode, pktSize int64) (float64, bool) {
+	pl := dsasim.NewPlatform(dsasim.SPR())
+	ws := pl.NewWorkspace()
+	vq := vhost.NewVirtqueue(ws.AS, pl.Node(0), 256, 2048)
+	var wq *dsa.WQ
+	if mode == vhost.DSACopy {
+		wq = pl.Devices[0].WQs()[0]
+	}
+	backend, err := vhost.NewBackend(mode, vq, ws.Core, ws.AS, wq)
+	if err != nil {
+		panic(err)
+	}
+	gen := vhost.NewGenerator(pktSize, 7)
+
+	const bursts = 50
+	var elapsed sim.Time
+	pl.Run(func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < bursts; i++ {
+			pkts := gen.Burst(32)
+			off := 0
+			for off < len(pkts) {
+				n, err := backend.EnqueueBurst(p, pkts[off:])
+				if err != nil {
+					panic(err)
+				}
+				off += n
+				for vq.UsedLen() > 0 {
+					vq.PopUsed() // the guest consumes and refills
+				}
+				if n == 0 {
+					p.Sleep(100 * time.Nanosecond)
+				}
+			}
+		}
+		backend.Drain(p)
+		elapsed = p.Now() - start
+	})
+	return float64(bursts*32) / (float64(elapsed) / 1e3), backend.InOrder()
+}
+
+func main() {
+	fmt.Println("DPDK-Vhost-style packet forwarding (Mpps), CPU copies vs DSA offload")
+	fmt.Printf("%-10s %10s %10s %8s\n", "pkt size", "CPU", "DSA", "DSA/CPU")
+	for _, size := range []int64{64, 128, 256, 512, 1024, 1280, 1518} {
+		cpu, okC := forwardingRate(vhost.CPUCopy, size)
+		dsaR, okD := forwardingRate(vhost.DSACopy, size)
+		if !okC || !okD {
+			panic("packets delivered out of order")
+		}
+		fmt.Printf("%-10d %10.2f %10.2f %8.2fx\n", size, cpu, dsaR, dsaR/cpu)
+	}
+	fmt.Println("\nall packets delivered intact and in order (reorder array, §6.4)")
+}

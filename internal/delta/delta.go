@@ -1,0 +1,86 @@
+// Package delta implements the DSA delta-record format (Table 1: Create
+// Delta Record / Apply Delta Record). A delta record lists each 8-byte word
+// that differs between an original and a modified buffer as a (word offset,
+// new data) pair, letting software track and replay sparse modifications —
+// the primitive VM live-migration dirty tracking builds on.
+//
+// Record entry layout (little-endian, per the DSA specification): 2-byte
+// word offset (in 8-byte units), 6 bytes reserved... — the hardware format
+// packs a 10-byte entry; we use the natural 2+8 layout with the offset in
+// units of 8 bytes, which preserves the format's defining constraints: 8-byte
+// granularity and a 16-bit offset limiting a region to 512 KiB.
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EntrySize is the encoded size of one delta entry: a 2-byte word offset
+// plus the 8 replacement bytes.
+const EntrySize = 10
+
+// MaxRegion is the largest comparable region: 2^16 words of 8 bytes.
+const MaxRegion = 64 * 1024 * 8
+
+// ErrRecordFull reports that the differences did not fit in the caller's
+// maximum delta size. The DSA completion record signals the same condition
+// so software can fall back to a full copy.
+var ErrRecordFull = fmt.Errorf("delta: record overflow (differences exceed max delta size)")
+
+// Create writes a delta record of the differences between original and
+// modified into record, returning the number of record bytes used.
+//
+// original and modified must be the same length, a multiple of 8, and at
+// most MaxRegion. record's capacity bounds the differences that can be
+// recorded; if they do not fit, Create returns ErrRecordFull (with record
+// contents undefined), mirroring the DSA "delta record full" status.
+func Create(record, original, modified []byte) (int, error) {
+	if len(original) != len(modified) {
+		return 0, fmt.Errorf("delta: buffer sizes differ: %d vs %d", len(original), len(modified))
+	}
+	if len(original)%8 != 0 {
+		return 0, fmt.Errorf("delta: region size %d not a multiple of 8", len(original))
+	}
+	if len(original) > MaxRegion {
+		return 0, fmt.Errorf("delta: region size %d exceeds max %d", len(original), MaxRegion)
+	}
+	used := 0
+	for w := 0; w < len(original)/8; w++ {
+		o := binary.LittleEndian.Uint64(original[w*8:])
+		m := binary.LittleEndian.Uint64(modified[w*8:])
+		if o == m {
+			continue
+		}
+		if used+EntrySize > len(record) {
+			return 0, ErrRecordFull
+		}
+		binary.LittleEndian.PutUint16(record[used:], uint16(w))
+		binary.LittleEndian.PutUint64(record[used+2:], m)
+		used += EntrySize
+	}
+	return used, nil
+}
+
+// Apply replays a delta record onto dst (which should hold the original
+// data) to reconstruct the modified buffer. recordLen must be the value
+// returned by Create.
+func Apply(dst, record []byte, recordLen int) error {
+	if recordLen%EntrySize != 0 {
+		return fmt.Errorf("delta: record length %d not a multiple of entry size %d", recordLen, EntrySize)
+	}
+	if recordLen > len(record) {
+		return fmt.Errorf("delta: record length %d exceeds record buffer %d", recordLen, len(record))
+	}
+	for off := 0; off < recordLen; off += EntrySize {
+		w := int(binary.LittleEndian.Uint16(record[off:]))
+		if (w+1)*8 > len(dst) {
+			return fmt.Errorf("delta: entry word offset %d outside destination of %d bytes", w, len(dst))
+		}
+		binary.LittleEndian.PutUint64(dst[w*8:], binary.LittleEndian.Uint64(record[off+2:]))
+	}
+	return nil
+}
+
+// Count returns the number of entries in a record of recordLen bytes.
+func Count(recordLen int) int { return recordLen / EntrySize }

@@ -1,0 +1,139 @@
+package delta
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsasim/internal/sim"
+)
+
+func TestCreateApplyRoundTrip(t *testing.T) {
+	orig := make([]byte, 1024)
+	sim.NewRand(1).Bytes(orig)
+	mod := append([]byte(nil), orig...)
+	mod[8] ^= 0xFF
+	mod[500] ^= 0x01
+	mod[1016] ^= 0x80
+
+	record := make([]byte, len(orig)/8*EntrySize)
+	n, err := Create(record, orig, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Count(n) != 3 {
+		t.Fatalf("entries = %d, want 3", Count(n))
+	}
+	dst := append([]byte(nil), orig...)
+	if err := Apply(dst, record, n); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, mod) {
+		t.Fatal("Apply did not reconstruct modified buffer")
+	}
+}
+
+func TestIdenticalBuffersEmptyDelta(t *testing.T) {
+	buf := make([]byte, 256)
+	sim.NewRand(2).Bytes(buf)
+	n, err := Create(make([]byte, 16), buf, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("identical buffers produced %d delta bytes", n)
+	}
+}
+
+func TestRecordOverflow(t *testing.T) {
+	orig := make([]byte, 64)
+	mod := make([]byte, 64)
+	for i := range mod {
+		mod[i] = 0xFF // every word differs: 8 entries needed
+	}
+	_, err := Create(make([]byte, EntrySize*3), orig, mod)
+	if !errors.Is(err, ErrRecordFull) {
+		t.Fatalf("Create = %v, want ErrRecordFull", err)
+	}
+}
+
+func TestExactCapacityFits(t *testing.T) {
+	orig := make([]byte, 64)
+	mod := append([]byte(nil), orig...)
+	mod[0], mod[63] = 1, 1 // 2 words differ
+	n, err := Create(make([]byte, EntrySize*2), orig, mod)
+	if err != nil || Count(n) != 2 {
+		t.Fatalf("Create = (%d,%v), want 2 entries", Count(n), err)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Create(nil, make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Fatal("Create accepted mismatched sizes")
+	}
+	if _, err := Create(nil, make([]byte, 7), make([]byte, 7)); err == nil {
+		t.Fatal("Create accepted non-multiple-of-8 size")
+	}
+	if _, err := Create(nil, make([]byte, MaxRegion+8), make([]byte, MaxRegion+8)); err == nil {
+		t.Fatal("Create accepted oversized region")
+	}
+	if err := Apply(make([]byte, 8), make([]byte, EntrySize), 5); err == nil {
+		t.Fatal("Apply accepted ragged record length")
+	}
+	if err := Apply(make([]byte, 8), make([]byte, EntrySize), EntrySize*2); err == nil {
+		t.Fatal("Apply accepted record length beyond buffer")
+	}
+}
+
+func TestApplyRejectsOutOfRangeOffset(t *testing.T) {
+	record := make([]byte, EntrySize)
+	record[0] = 0xFF // word offset 255 — outside an 8-byte destination
+	if err := Apply(make([]byte, 8), record, EntrySize); err == nil {
+		t.Fatal("Apply accepted out-of-range word offset")
+	}
+}
+
+func TestCreateApplyQuick(t *testing.T) {
+	r := sim.NewRand(99)
+	f := func(seed uint64, flips uint8) bool {
+		size := (int(seed%128) + 1) * 8
+		orig := make([]byte, size)
+		r.Bytes(orig)
+		mod := append([]byte(nil), orig...)
+		for i := 0; i < int(flips)%16; i++ {
+			mod[r.Intn(size)] ^= byte(r.Uint64() | 1)
+		}
+		record := make([]byte, size/8*EntrySize)
+		n, err := Create(record, orig, mod)
+		if err != nil {
+			return false
+		}
+		dst := append([]byte(nil), orig...)
+		if err := Apply(dst, record, n); err != nil {
+			return false
+		}
+		return bytes.Equal(dst, mod)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaAtMaxRegionBoundary(t *testing.T) {
+	orig := make([]byte, MaxRegion)
+	mod := append([]byte(nil), orig...)
+	mod[MaxRegion-1] = 1 // last word differs: offset must encode 0xFFFF
+	record := make([]byte, EntrySize)
+	n, err := Create(record, orig, mod)
+	if err != nil || Count(n) != 1 {
+		t.Fatalf("Create at boundary = (%d,%v)", n, err)
+	}
+	dst := append([]byte(nil), orig...)
+	if err := Apply(dst, record, n); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, mod) {
+		t.Fatal("boundary word not reconstructed")
+	}
+}

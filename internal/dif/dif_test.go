@@ -1,0 +1,180 @@
+package dif
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dsasim/internal/sim"
+)
+
+func fillRandom(p []byte, seed uint64) {
+	sim.NewRand(seed).Bytes(p)
+}
+
+func TestInsertCheckStripRoundTrip(t *testing.T) {
+	for _, bs := range []BlockSize{Block512, Block4096} {
+		for _, blocks := range []int{1, 2, 7} {
+			src := make([]byte, int(bs)*blocks)
+			fillRandom(src, uint64(bs)+uint64(blocks))
+			tags := Tags{AppTag: 0xBEEF, RefTag: 1000, IncrementRef: true}
+			prot := make([]byte, bs.Protected()*int64(blocks))
+			if err := Insert(prot, src, bs, tags); err != nil {
+				t.Fatalf("Insert(bs=%d,blocks=%d): %v", bs, blocks, err)
+			}
+			if err := Check(prot, bs, tags); err != nil {
+				t.Fatalf("Check(bs=%d,blocks=%d): %v", bs, blocks, err)
+			}
+			out := make([]byte, len(src))
+			if err := Strip(out, prot, bs, tags); err != nil {
+				t.Fatalf("Strip: %v", err)
+			}
+			if !bytes.Equal(out, src) {
+				t.Fatalf("Strip did not round-trip (bs=%d, blocks=%d)", bs, blocks)
+			}
+		}
+	}
+}
+
+func TestCheckDetectsGuardCorruption(t *testing.T) {
+	src := make([]byte, 512)
+	fillRandom(src, 3)
+	tags := Tags{AppTag: 1, RefTag: 7}
+	prot := make([]byte, Block512.Protected())
+	if err := Insert(prot, src, Block512, tags); err != nil {
+		t.Fatal(err)
+	}
+	prot[100] ^= 0x01 // corrupt data, guard now wrong
+	var ce *CheckError
+	if err := Check(prot, Block512, tags); !errors.As(err, &ce) || ce.Field != "guard" {
+		t.Fatalf("Check = %v, want guard CheckError", err)
+	}
+}
+
+func TestCheckDetectsTagMismatches(t *testing.T) {
+	src := make([]byte, 1024)
+	fillRandom(src, 4)
+	tags := Tags{AppTag: 0x1234, RefTag: 55, IncrementRef: true}
+	prot := make([]byte, Block512.Protected()*2)
+	if err := Insert(prot, src, Block512, tags); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CheckError
+	wrongApp := tags
+	wrongApp.AppTag = 0x4321
+	if err := Check(prot, Block512, wrongApp); !errors.As(err, &ce) || ce.Field != "app" {
+		t.Fatalf("Check wrong app = %v", err)
+	}
+	wrongRef := tags
+	wrongRef.RefTag = 56
+	if err := Check(prot, Block512, wrongRef); !errors.As(err, &ce) || ce.Field != "ref" {
+		t.Fatalf("Check wrong ref = %v", err)
+	}
+	// Error should identify block 0.
+	if ce.Block != 0 {
+		t.Fatalf("error block = %d, want 0", ce.Block)
+	}
+}
+
+func TestIncrementingRefTag(t *testing.T) {
+	src := make([]byte, 512*3)
+	fillRandom(src, 5)
+	tags := Tags{RefTag: 100, IncrementRef: true}
+	prot := make([]byte, Block512.Protected()*3)
+	if err := Insert(prot, src, Block512, tags); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pi := DecodeBlockPI(prot, Block512, i)
+		if pi.RefTag != uint32(100+i) {
+			t.Fatalf("block %d ref = %d, want %d", i, pi.RefTag, 100+i)
+		}
+	}
+}
+
+func TestFixedRefTag(t *testing.T) {
+	src := make([]byte, 512*2)
+	tags := Tags{RefTag: 42}
+	prot := make([]byte, Block512.Protected()*2)
+	if err := Insert(prot, src, Block512, tags); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if pi := DecodeBlockPI(prot, Block512, i); pi.RefTag != 42 {
+			t.Fatalf("block %d ref = %d, want 42", i, pi.RefTag)
+		}
+	}
+}
+
+func TestUpdateRewritesTags(t *testing.T) {
+	src := make([]byte, 4096)
+	fillRandom(src, 6)
+	old := Tags{AppTag: 1, RefTag: 10}
+	prot := make([]byte, Block4096.Protected())
+	if err := Insert(prot, src, Block4096, old); err != nil {
+		t.Fatal(err)
+	}
+	newTags := Tags{AppTag: 2, RefTag: 99, IncrementRef: true}
+	out := make([]byte, len(prot))
+	if err := Update(out, prot, Block4096, old, newTags); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(out, Block4096, newTags); err != nil {
+		t.Fatalf("Check after Update: %v", err)
+	}
+	// Data must be untouched.
+	if !bytes.Equal(out[:4096], src) {
+		t.Fatal("Update altered data")
+	}
+}
+
+func TestUpdateRejectsBadSource(t *testing.T) {
+	src := make([]byte, 512)
+	old := Tags{AppTag: 1}
+	prot := make([]byte, Block512.Protected())
+	if err := Insert(prot, src, Block512, old); err != nil {
+		t.Fatal(err)
+	}
+	prot[0] ^= 0xFF
+	out := make([]byte, len(prot))
+	if err := Update(out, prot, Block512, old, Tags{AppTag: 2}); err == nil {
+		t.Fatal("Update accepted corrupted source")
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	if err := Insert(make([]byte, 520), make([]byte, 500), Block512, Tags{}); err == nil {
+		t.Fatal("Insert accepted partial block")
+	}
+	if err := Insert(make([]byte, 100), make([]byte, 512), Block512, Tags{}); err == nil {
+		t.Fatal("Insert accepted wrong destination size")
+	}
+	if err := Check(make([]byte, 500), Block512, Tags{}); err == nil {
+		t.Fatal("Check accepted partial protected block")
+	}
+	if err := Insert(make([]byte, 521), make([]byte, 512), BlockSize(513), Tags{}); err == nil {
+		t.Fatal("Insert accepted invalid block size")
+	}
+}
+
+func TestInsertStripQuick(t *testing.T) {
+	f := func(seed uint64, nBlocks uint8) bool {
+		blocks := int(nBlocks)%4 + 1
+		src := make([]byte, 512*blocks)
+		fillRandom(src, seed)
+		tags := Tags{AppTag: uint16(seed), RefTag: uint32(seed >> 16), IncrementRef: seed%2 == 0}
+		prot := make([]byte, Block512.Protected()*int64(blocks))
+		if err := Insert(prot, src, Block512, tags); err != nil {
+			return false
+		}
+		out := make([]byte, len(src))
+		if err := Strip(out, prot, Block512, tags); err != nil {
+			return false
+		}
+		return bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+package dml
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dif"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+type rig struct {
+	e    *sim.Engine
+	sys  *mem.System
+	as   *mem.AddressSpace
+	core *cpu.Core
+	x    *Executor
+	node *mem.Node
+}
+
+func newRig(t *testing.T, opts ...Option) *rig {
+	t.Helper()
+	e := sim.New()
+	sys := mem.NewSystem(e, mem.SystemConfig{
+		Sockets: 1,
+		LLC:     mem.LLCConfig{Capacity: 105 << 20, Ways: 15, DDIOWays: 2},
+		NodeDefs: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+		},
+	})
+	dev := dsa.New(e, sys, dsa.DefaultConfig("dsa0", 0))
+	if _, err := dev.AddGroup(dsa.GroupConfig{Engines: 4, WQs: []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace(1)
+	core := cpu.NewCore(0, 0, sys, as, cpu.SPRModel())
+	x, err := New(as, core, dev.WQs(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{e: e, sys: sys, as: as, core: core, x: x, node: sys.Node(0)}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.e.Go("test", fn)
+	r.e.Run()
+}
+
+func (r *rig) alloc(n int64) *mem.Buffer { return r.as.Alloc(n, mem.OnNode(r.node)) }
+
+func TestAutoPathRouting(t *testing.T) {
+	r := newRig(t) // threshold 4096
+	small := r.alloc(1024)
+	big := r.alloc(64 << 10)
+	dstS := r.alloc(1024)
+	dstB := r.alloc(64 << 10)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.x.Copy(p, dstS.Addr(0), small.Addr(0), 1024, Auto); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.x.Copy(p, dstB.Addr(0), big.Addr(0), 64<<10, Auto); err != nil {
+			t.Error(err)
+		}
+	})
+	st := r.x.Stats()
+	if st.SWOps != 1 || st.HWOps != 1 {
+		t.Fatalf("routing = %d sw, %d hw; want 1,1", st.SWOps, st.HWOps)
+	}
+	if st.SWBytes != 1024 || st.HWBytes != 64<<10 {
+		t.Fatalf("bytes = %d sw, %d hw", st.SWBytes, st.HWBytes)
+	}
+}
+
+func TestForcedPaths(t *testing.T) {
+	r := newRig(t)
+	src := r.alloc(512)
+	dst := r.alloc(512)
+	r.run(t, func(p *sim.Proc) {
+		if res, err := r.x.Copy(p, dst.Addr(0), src.Addr(0), 512, Hardware); err != nil || !res.Hardware {
+			t.Errorf("forced hardware: %+v, %v", res, err)
+		}
+		if res, err := r.x.Copy(p, dst.Addr(0), src.Addr(0), 512, Software); err != nil || res.Hardware {
+			t.Errorf("forced software: %+v, %v", res, err)
+		}
+	})
+}
+
+func TestResultsMatchAcrossPaths(t *testing.T) {
+	r := newRig(t)
+	n := int64(32 << 10)
+	src := r.alloc(n)
+	sim.NewRand(1).Bytes(src.Bytes())
+	r.run(t, func(p *sim.Proc) {
+		hw, err := r.x.CRC32(p, src.Addr(0), n, 0, Hardware)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sw, err := r.x.CRC32(p, src.Addr(0), n, 0, Software)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if hw.CRC != sw.CRC {
+			t.Errorf("hardware CRC %#x != software %#x", hw.CRC, sw.CRC)
+		}
+	})
+}
+
+func TestAsyncJob(t *testing.T) {
+	r := newRig(t)
+	n := int64(256 << 10)
+	src := r.alloc(n)
+	dst := r.alloc(n)
+	sim.NewRand(2).Bytes(src.Bytes())
+	r.run(t, func(p *sim.Proc) {
+		j, err := r.x.CopyAsync(p, dst.Addr(0), src.Addr(0), n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if j.Done() {
+			t.Error("256KB copy completed instantaneously")
+		}
+		if _, err := j.Wait(p); err != nil {
+			t.Error(err)
+		}
+		if !j.Done() {
+			t.Error("job not done after Wait")
+		}
+	})
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("async copy incomplete")
+	}
+}
+
+func TestBatchSubmit(t *testing.T) {
+	r := newRig(t)
+	n := int64(4096)
+	src := r.alloc(n * 4)
+	dst := r.alloc(n * 4)
+	sim.NewRand(3).Bytes(src.Bytes())
+	crcSrc := r.alloc(n)
+	sim.NewRand(4).Bytes(crcSrc.Bytes())
+
+	r.run(t, func(p *sim.Proc) {
+		b := r.x.NewBatch()
+		for i := int64(0); i < 4; i++ {
+			b.Copy(dst.Addr(i*n), src.Addr(i*n), n)
+		}
+		b.CRC32(crcSrc.Addr(0), n, 0)
+		if b.Len() != 5 {
+			t.Errorf("batch len = %d", b.Len())
+		}
+		j, err := b.Submit(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := j.Wait(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Record.Result != 5 {
+			t.Errorf("batch completed %d of 5", res.Record.Result)
+		}
+	})
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("batch copies incomplete")
+	}
+}
+
+func TestBatchSingleDescriptorFallsBack(t *testing.T) {
+	r := newRig(t)
+	src := r.alloc(4096)
+	dst := r.alloc(4096)
+	r.run(t, func(p *sim.Proc) {
+		b := r.x.NewBatch().Copy(dst.Addr(0), src.Addr(0), 4096)
+		j, err := b.Submit(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := j.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.x.NewBatch().Submit(p); err == nil {
+			t.Error("empty batch accepted")
+		}
+	})
+}
+
+func TestDeltaAndDIFViaExecutor(t *testing.T) {
+	r := newRig(t)
+	n := int64(8192)
+	orig := r.alloc(n)
+	mod := r.alloc(n)
+	record := r.alloc(n * 2)
+	sim.NewRand(5).Bytes(orig.Bytes())
+	copy(mod.Bytes(), orig.Bytes())
+	mod.Bytes()[100] ^= 0xFF
+
+	raw := r.alloc(4096)
+	prot := r.alloc(dif.Block512.Protected() * 8)
+	sim.NewRand(6).Bytes(raw.Bytes())
+	tags := dif.Tags{AppTag: 3, RefTag: 12, IncrementRef: true}
+
+	r.run(t, func(p *sim.Proc) {
+		res, err := r.x.CreateDelta(p, record.Addr(0), orig.Addr(0), mod.Addr(0), n, n*2, Hardware)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Size == 0 {
+			t.Error("no delta bytes")
+		}
+		if _, err := r.x.ApplyDelta(p, orig.Addr(0), record.Addr(0), res.Size, n, Hardware); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.x.DIFInsert(p, prot.Addr(0), raw.Addr(0), 4096, dif.Block512, tags, Hardware); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.x.DIFCheck(p, prot.Addr(0), prot.Size, dif.Block512, tags, Hardware); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Equal(orig.Bytes(), mod.Bytes()) {
+		t.Fatal("delta round trip via executor failed")
+	}
+}
+
+func TestDIFErrorSurfaceAsError(t *testing.T) {
+	r := newRig(t)
+	prot := r.alloc(dif.Block512.Protected())
+	// Garbage protected block: check must fail on both paths.
+	sim.NewRand(7).Bytes(prot.Bytes())
+	tags := dif.Tags{AppTag: 1}
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.x.DIFCheck(p, prot.Addr(0), prot.Size, dif.Block512, tags, Hardware); err == nil {
+			t.Error("hardware DIF check passed on garbage")
+		}
+		if _, err := r.x.DIFCheck(p, prot.Addr(0), prot.Size, dif.Block512, tags, Software); err == nil {
+			t.Error("software DIF check passed on garbage")
+		}
+	})
+}
+
+func TestLoadBalancingRoundRobin(t *testing.T) {
+	// Two single-WQ devices: ops must alternate between them.
+	e := sim.New()
+	sys := mem.NewSystem(e, mem.SystemConfig{
+		Sockets: 1,
+		LLC:     mem.LLCConfig{Capacity: 105 << 20},
+		NodeDefs: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+		},
+	})
+	var wqs []*dsa.WQ
+	var devs []*dsa.Device
+	for _, name := range []string{"dsa0", "dsa1"} {
+		dev := dsa.New(e, sys, dsa.DefaultConfig(name, 0))
+		if _, err := dev.AddGroup(dsa.GroupConfig{Engines: 4, WQs: []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Enable(); err != nil {
+			t.Fatal(err)
+		}
+		wqs = append(wqs, dev.WQs()...)
+		devs = append(devs, dev)
+	}
+	as := mem.NewAddressSpace(1)
+	core := cpu.NewCore(0, 0, sys, as, cpu.SPRModel())
+	x, err := New(as, core, wqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := as.Alloc(8192, mem.OnNode(sys.Node(0)))
+	dst := as.Alloc(8192, mem.OnNode(sys.Node(0)))
+	e.Go("test", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if _, err := x.Copy(p, dst.Addr(0), src.Addr(0), 8192, Hardware); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	e.Run()
+	if devs[0].Stats().Submitted != 5 || devs[1].Stats().Submitted != 5 {
+		t.Fatalf("load balance = %d / %d, want 5 / 5",
+			devs[0].Stats().Submitted, devs[1].Stats().Submitted)
+	}
+}
+
+func TestExecutorRequiresWQs(t *testing.T) {
+	if _, err := New(mem.NewAddressSpace(1), nil, nil); err == nil {
+		t.Fatal("executor without WQs accepted")
+	}
+}
+
+func TestFillAndCompareViaExecutor(t *testing.T) {
+	r := newRig(t)
+	buf := r.alloc(16 << 10)
+	pat := uint64(0x5A5A5A5A5A5A5A5A)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.x.Fill(p, buf.Addr(0), buf.Size, pat, Hardware); err != nil {
+			t.Error(err)
+		}
+		res, err := r.x.ComparePattern(p, buf.Addr(0), buf.Size, pat, Hardware)
+		if err != nil || res.Mismatch {
+			t.Errorf("pattern verify: %+v, %v", res, err)
+		}
+		buf.Bytes()[9999] = 0
+		res, err = r.x.ComparePattern(p, buf.Addr(0), buf.Size, pat, Hardware)
+		if err != nil || !res.Mismatch || res.Offset != 9999 {
+			t.Errorf("mismatch detect: %+v, %v", res, err)
+		}
+	})
+}
+
+func TestDualcastViaExecutor(t *testing.T) {
+	r := newRig(t)
+	n := int64(8192)
+	src := r.alloc(n)
+	d1 := r.alloc(n)
+	d2 := r.alloc(n)
+	sim.NewRand(8).Bytes(src.Bytes())
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.x.Dualcast(p, d1.Addr(0), d2.Addr(0), src.Addr(0), n, Hardware); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Equal(d1.Bytes(), src.Bytes()) || !bytes.Equal(d2.Bytes(), src.Bytes()) {
+		t.Fatal("dualcast incomplete")
+	}
+}

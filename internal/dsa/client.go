@@ -1,0 +1,152 @@
+package dsa
+
+import (
+	"dsasim/internal/cpu"
+	"dsasim/internal/sim"
+)
+
+// WaitMode selects how a client discovers completion (§3.3, §4.4).
+type WaitMode int
+
+// Completion wait modes.
+const (
+	// Poll spins on the completion record, burning core cycles at PollGap
+	// granularity.
+	Poll WaitMode = iota
+	// UMWait parks the core in the UMONITOR/UMWAIT optimized wait state
+	// until the completion record is written, then pays the wake latency.
+	UMWait
+	// Interrupt blocks on a completion interrupt: the core is fully free
+	// while waiting but pays delivery latency plus handler cost — the
+	// trade-off §4.4 describes against UMWAIT.
+	Interrupt
+)
+
+// Client models the software side of DSA usage from one thread: descriptor
+// allocation, preparation, portal submission (MOVDIR64B or ENQCMD with
+// retries), and completion waiting, all with their core-side costs. Phase
+// times are accumulated for the latency-breakdown and UMWAIT experiments
+// (Figs 5 and 11).
+type Client struct {
+	WQ   *WQ
+	Core *cpu.Core // optional: phase costs also charge this core
+
+	// Cumulative phase times.
+	AllocTime   sim.Time
+	PrepareTime sim.Time
+	SubmitTime  sim.Time
+	WaitTime    sim.Time
+	Retries     int64
+}
+
+// NewClient pairs a work queue with a submitting core.
+func NewClient(wq *WQ, core *cpu.Core) *Client {
+	return &Client{WQ: wq, Core: core}
+}
+
+func (c *Client) chargeBusy(d sim.Time) {
+	if c.Core != nil {
+		c.Core.ChargeBusy(d)
+	}
+}
+
+// AllocDescriptors models allocating space for n descriptors plus completion
+// records (the dominant naive-path cost in Fig 5, amortized away by
+// preallocating in real deployments).
+func (c *Client) AllocDescriptors(p *sim.Proc, n int) {
+	t := c.WQ.Dev.Cfg.Timing
+	d := t.DescAlloc + sim.Time(n)*t.DescAllocPer
+	p.Sleep(d)
+	c.AllocTime += d
+	c.chargeBusy(d)
+}
+
+// Prepare models filling in one pre-allocated descriptor ("two writes",
+// §4.2).
+func (c *Client) Prepare(p *sim.Proc) {
+	t := c.WQ.Dev.Cfg.Timing
+	p.Sleep(t.DescPrepare)
+	c.PrepareTime += t.DescPrepare
+	c.chargeBusy(t.DescPrepare)
+}
+
+// Submit submits d through the WQ's portal with the mode-appropriate
+// instruction, retrying until accepted: ENQCMD re-issues on a retry status;
+// a dedicated-WQ client spins on its occupancy count. It returns the
+// completion handle.
+func (c *Client) Submit(p *sim.Proc, d Descriptor) (*Completion, error) {
+	t := c.WQ.Dev.Cfg.Timing
+	for {
+		instr := t.SubmitMOVDIR64B
+		if c.WQ.Mode == Shared {
+			instr = t.SubmitENQCMD
+		}
+		p.Sleep(instr)
+		c.SubmitTime += instr
+		c.chargeBusy(instr)
+		comp, err := c.WQ.Submit(d)
+		if err == ErrWQFull {
+			c.Retries++
+			if c.WQ.Mode == Dedicated {
+				// Software waits for an entry to free before rewriting
+				// the portal.
+				p.Sleep(t.PollGap)
+				c.WaitTime += t.PollGap
+				c.chargeBusy(t.PollGap)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return comp, nil
+	}
+}
+
+// Wait blocks the calling process until comp finishes, accounting the wait
+// according to mode. It returns the wait duration.
+func (c *Client) Wait(p *sim.Proc, comp *Completion, mode WaitMode) sim.Time {
+	t := c.WQ.Dev.Cfg.Timing
+	start := p.Now()
+	switch mode {
+	case Interrupt:
+		comp.Wait(p)
+		p.Sleep(t.IntrDeliver + t.IntrHandler)
+		waited := p.Now() - start
+		c.WaitTime += waited
+		// Only the handler burns core cycles; the wait itself is free
+		// (the core ran other work or slept).
+		c.chargeBusy(t.IntrHandler)
+		return waited
+	case UMWait:
+		comp.Wait(p)
+		p.Sleep(cpu.UMWaitWake)
+		waited := p.Now() - start
+		c.WaitTime += waited
+		if c.Core != nil {
+			c.Core.UMWait(waited - cpu.UMWaitWake)
+			c.Core.ChargeBusy(cpu.UMWaitWake)
+		}
+		return waited
+	default: // Poll
+		for !comp.Done() {
+			p.Sleep(t.PollGap)
+		}
+		waited := p.Now() - start
+		c.WaitTime += waited
+		c.chargeBusy(waited)
+		return waited
+	}
+}
+
+// RunSync performs one synchronous offload: prepare, submit, wait. It
+// returns the completion handle after it finished.
+func (c *Client) RunSync(p *sim.Proc, d Descriptor, mode WaitMode) (*Completion, error) {
+	c.Prepare(p)
+	comp, err := c.Submit(p, d)
+	if err != nil {
+		return nil, err
+	}
+	c.Wait(p, comp, mode)
+	return comp, nil
+}

@@ -1,0 +1,54 @@
+package dsa
+
+import (
+	"dsasim/internal/sim"
+)
+
+// Completion is the software-visible handle for one submitted descriptor:
+// the model's stand-in for polling a completion record in memory. It records
+// the submit → dispatch → finish timeline used by the latency-breakdown
+// experiments (Fig 5).
+type Completion struct {
+	e    *sim.Engine
+	rec  CompletionRecord
+	done bool
+	sig  sim.Signal
+
+	// Timeline instants (virtual time).
+	SubmitTime   sim.Time
+	DispatchTime sim.Time
+	FinishTime   sim.Time
+}
+
+func newCompletion(e *sim.Engine) *Completion {
+	return &Completion{e: e}
+}
+
+// complete records the result and wakes waiters.
+func (c *Completion) complete(rec CompletionRecord) {
+	c.rec = rec
+	c.done = true
+	c.FinishTime = c.e.Now()
+	c.sig.Broadcast(c.e)
+}
+
+// Done reports whether the completion record has been written.
+func (c *Completion) Done() bool { return c.done }
+
+// Record returns the completion record; valid once Done reports true.
+func (c *Completion) Record() CompletionRecord { return c.rec }
+
+// Wait parks the calling process until the descriptor completes (event
+// driven — the UMWAIT-style wait without the core-side accounting, which
+// Client.Wait adds).
+func (c *Completion) Wait(p *sim.Proc) {
+	for !c.done {
+		p.Wait(&c.sig)
+	}
+}
+
+// Latency returns finish − submit; valid once done.
+func (c *Completion) Latency() sim.Time { return c.FinishTime - c.SubmitTime }
+
+// QueueTime returns dispatch − submit; valid once done.
+func (c *Completion) QueueTime() sim.Time { return c.DispatchTime - c.SubmitTime }

@@ -1,0 +1,126 @@
+package dsa
+
+import (
+	"dsasim/internal/sim"
+)
+
+// Group is the basic operational unit of the device (§3.2): a set of WQs
+// whose descriptors are dispatched by the group arbiter onto the group's
+// engines, with WQ priorities providing QoS and read buffers bounding
+// sustainable read bandwidth.
+type Group struct {
+	ID       int
+	Dev      *Device
+	WQs      []*WQ
+	Engines  []*Engine
+	ReadBufs int
+
+	// readPipe caps the group's aggregate read bandwidth at
+	// ReadBufs × line / local-DRAM-latency (Little's law over the read
+	// buffers; §3.4 F3).
+	readPipe *sim.Pipe
+
+	// batchQ holds sub-descriptors fetched by the batch processing unit,
+	// ready for any engine in the group.
+	batchQ sim.FIFO[*work]
+
+	// credits implement priority-weighted round-robin among WQs.
+	credits []int
+	rr      int
+
+	// inflight tracks dispatched-but-incomplete works for Drain ordering.
+	inflight int
+	drainSig sim.Signal
+}
+
+// finalize computes derived state once the device is enabled.
+func (g *Group) finalize() {
+	t := g.Dev.Cfg.Timing
+	// Sustainable read bandwidth from the allocated read buffers, assuming
+	// local-DRAM fill latency. 96 bufs × 64 B / 110 ns ≈ 56 GB/s — above
+	// the 30 GB/s fabric, so full allocations never bottleneck (§3.4 F3);
+	// starving a group of buffers does.
+	latNs := 110.0
+	if len(g.Dev.Sys.Nodes) > 0 {
+		latNs = float64(g.Dev.Sys.Nodes[0].ReadLat)
+	}
+	gbps := float64(g.ReadBufs) * float64(t.ReadBufLine) / latNs
+	if gbps <= 0 {
+		gbps = 0.5
+	}
+	g.readPipe = sim.NewPipe(g.Dev.E, gbps)
+	g.credits = make([]int, len(g.WQs))
+	g.refillCredits()
+}
+
+func (g *Group) refillCredits() {
+	for i, wq := range g.WQs {
+		g.credits[i] = wq.Priority
+	}
+}
+
+// nextWork selects the next descriptor for dispatch: batch sub-descriptors
+// first (they were already arbitrated when their parent was picked), then
+// WQ heads by priority-weighted round-robin.
+func (g *Group) nextWork() (*work, bool) {
+	if wk, ok := g.batchQ.Pop(); ok {
+		return wk, true
+	}
+	n := len(g.WQs)
+	// Two passes: first honoring credits, then ignoring them (prevents
+	// starvation when only zero-credit WQs are non-empty).
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			idx := (g.rr + i) % n
+			wq := g.WQs[idx]
+			if wq.q.Len() == 0 {
+				continue
+			}
+			if pass == 0 && g.credits[idx] <= 0 {
+				continue
+			}
+			wk, _ := wq.q.Pop()
+			wq.occupied--
+			g.credits[idx]--
+			g.rr = (idx + 1) % n
+			if g.allCreditsSpent() {
+				g.refillCredits()
+			}
+			return wk, true
+		}
+	}
+	return nil, false
+}
+
+func (g *Group) allCreditsSpent() bool {
+	for i, wq := range g.WQs {
+		if wq.q.Len() > 0 && g.credits[i] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch hands queued descriptors to free engines. It is scheduled as an
+// event whenever a descriptor arrives or an engine frees up.
+func (g *Group) dispatch() {
+	for _, eng := range g.Engines {
+		if eng.busy {
+			continue
+		}
+		wk, ok := g.nextWork()
+		if !ok {
+			return
+		}
+		eng.execute(wk)
+	}
+}
+
+// pending reports descriptors waiting in the group's queues.
+func (g *Group) pending() int {
+	n := g.batchQ.Len()
+	for _, wq := range g.WQs {
+		n += wq.q.Len()
+	}
+	return n
+}

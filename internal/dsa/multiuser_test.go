@@ -1,0 +1,219 @@
+package dsa
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// These tests cover §3.4 F1: multiple applications (PASIDs) share one
+// device simultaneously and independently through SVM, plus the
+// interrupt-completion alternative of §4.4.
+
+func TestMultiplePASIDsShareOneSWQ(t *testing.T) {
+	r := newRig(t, GroupConfig{Engines: 4, WQs: []WQConfig{{Mode: Shared, Size: 32}}})
+	wq := r.dev.WQs()[0]
+
+	type app struct {
+		as       *mem.AddressSpace
+		src, dst *mem.Buffer
+	}
+	apps := make([]*app, 4)
+	for i := range apps {
+		as := mem.NewAddressSpace(10 + i)
+		r.dev.BindPASID(as)
+		a := &app{
+			as:  as,
+			src: as.Alloc(64<<10, mem.OnNode(r.node)),
+			dst: as.Alloc(64<<10, mem.OnNode(r.node)),
+		}
+		sim.NewRand(uint64(100 + i)).Bytes(a.src.Bytes())
+		apps[i] = a
+	}
+	for i, a := range apps {
+		a := a
+		cl := NewClient(wq, nil)
+		r.e.Go("app", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 50 * time.Nanosecond)
+			for k := 0; k < 10; k++ {
+				if _, err := cl.RunSync(p, Descriptor{
+					Op: OpMemmove, PASID: a.as.PASID,
+					Src: a.src.Addr(0), Dst: a.dst.Addr(0), Size: 64 << 10,
+				}, Poll); err != nil {
+					t.Errorf("PASID %d: %v", a.as.PASID, err)
+					return
+				}
+			}
+		})
+	}
+	r.e.Run()
+	for i, a := range apps {
+		if !bytes.Equal(a.dst.Bytes(), a.src.Bytes()) {
+			t.Fatalf("app %d data corrupted under concurrent sharing", i)
+		}
+	}
+}
+
+func TestPASIDAddressSpacesAreIsolated(t *testing.T) {
+	r := newRig(t)
+	other := mem.NewAddressSpace(2)
+	r.dev.BindPASID(other)
+	foreign := other.Alloc(4096, mem.OnNode(r.node))
+	// PASID 1 submitting PASID-2 addresses must fail translation.
+	rec := r.runSync(t, Descriptor{
+		Op: OpMemmove, PASID: 1,
+		Src: foreign.Addr(0), Dst: foreign.Addr(0), Size: 4096,
+	})
+	if rec.Status != StatusError {
+		t.Fatalf("cross-PASID access = %v, want error", rec.Status)
+	}
+}
+
+func TestInterruptCompletionMode(t *testing.T) {
+	r := newRig(t)
+	src := r.alloc(64 << 10)
+	dst := r.alloc(64 << 10)
+	cl := NewClient(r.dev.WQs()[0], nil)
+	var intrLat, pollLat sim.Time
+	r.e.Go("bench", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := cl.RunSync(p, Descriptor{
+			Op: OpMemmove, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Size: 64 << 10,
+		}, Interrupt); err != nil {
+			t.Error(err)
+			return
+		}
+		intrLat = p.Now() - start
+		start = p.Now()
+		if _, err := cl.RunSync(p, Descriptor{
+			Op: OpMemmove, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Size: 64 << 10,
+		}, Poll); err != nil {
+			t.Error(err)
+			return
+		}
+		pollLat = p.Now() - start
+	})
+	r.e.Run()
+	if intrLat <= pollLat {
+		t.Fatalf("interrupt completion (%v) should cost more wake latency than polling (%v)", intrLat, pollLat)
+	}
+	if intrLat > pollLat+5*time.Microsecond {
+		t.Fatalf("interrupt overhead too large: %v vs %v", intrLat, pollLat)
+	}
+}
+
+func TestWQOccupancyHighWaterMark(t *testing.T) {
+	r := newRig(t, GroupConfig{Engines: 1, WQs: []WQConfig{{Mode: Dedicated, Size: 16}}})
+	wq := r.dev.WQs()[0]
+	src := r.alloc(1 << 20)
+	dst := r.alloc(1 << 20)
+	cl := NewClient(wq, nil)
+	r.e.Go("flood", func(p *sim.Proc) {
+		var comps []*Completion
+		for i := 0; i < 16; i++ {
+			c, err := cl.Submit(p, Descriptor{
+				Op: OpMemmove, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Size: 1 << 20,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			comps = append(comps, c)
+		}
+		for _, c := range comps {
+			c.Wait(p)
+		}
+	})
+	r.e.Run()
+	if wq.MaxOccupancy() < 8 {
+		t.Fatalf("flooded 16-entry WQ high-water = %d, want near capacity", wq.MaxOccupancy())
+	}
+	if wq.Occupancy() != 0 {
+		t.Fatalf("occupancy after drain = %d, want 0", wq.Occupancy())
+	}
+	if wq.Submitted() != 16 {
+		t.Fatalf("submitted = %d, want 16", wq.Submitted())
+	}
+}
+
+func TestLowPriorityNotStarved(t *testing.T) {
+	r := newRig(t, GroupConfig{
+		Engines: 1,
+		WQs: []WQConfig{
+			{Mode: Dedicated, Size: 32, Priority: 15},
+			{Mode: Dedicated, Size: 32, Priority: 1},
+		},
+	})
+	size := int64(16 << 10)
+	wqs := r.dev.WQs()
+	done := make([]int, 2)
+	for i, wq := range wqs {
+		i := i
+		cl := NewClient(wq, nil)
+		src := r.alloc(size)
+		dst := r.alloc(size)
+		r.e.Go("load", func(p *sim.Proc) {
+			var comps []*Completion
+			for k := 0; k < 40; k++ {
+				c, err := cl.Submit(p, Descriptor{Op: OpMemmove, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Size: size})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				comps = append(comps, c)
+			}
+			for _, c := range comps {
+				c.Wait(p)
+				done[i]++
+			}
+		})
+	}
+	r.e.Run()
+	if done[0] != 40 || done[1] != 40 {
+		t.Fatalf("completions = %v, want all 40+40 (no starvation)", done)
+	}
+}
+
+func TestATCEvictionUnderPressure(t *testing.T) {
+	// Touch more pages than the ATC holds: misses must keep occurring.
+	e := sim.New()
+	sys := sprSystem(e)
+	cfg := DefaultConfig("dsa0", 0)
+	cfg.ATCEntries = 8
+	dev := New(e, sys, cfg)
+	if _, err := dev.AddGroup(GroupConfig{Engines: 4, WQs: []WQConfig{{Mode: Dedicated, Size: 32}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace(1)
+	dev.BindPASID(as)
+	node := sys.Node(0)
+	// 20 source pages against 8 ATC entries keeps the cache thrashing.
+	bufs := make([]*mem.Buffer, 40)
+	for i := range bufs {
+		bufs[i] = as.Alloc(64, mem.OnNode(node))
+	}
+	cl := NewClient(dev.WQs()[0], nil)
+	e.Go("sweep", func(p *sim.Proc) {
+		for round := 0; round < 3; round++ {
+			for i := 0; i+1 < len(bufs); i += 2 {
+				if _, err := cl.RunSync(p, Descriptor{
+					Op: OpMemmove, PASID: 1, Src: bufs[i].Addr(0), Dst: bufs[i+1].Addr(0), Size: 64,
+				}, Poll); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	})
+	e.Run()
+	st := dev.Stats()
+	if st.ATCMisses <= 8 {
+		t.Fatalf("ATC misses = %d; a working set beyond capacity must keep missing", st.ATCMisses)
+	}
+}

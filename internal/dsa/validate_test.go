@@ -1,0 +1,84 @@
+package dsa
+
+import (
+	"testing"
+
+	"dsasim/internal/dif"
+	"dsasim/internal/mem"
+)
+
+// Error-path coverage: malformed descriptors must complete with
+// StatusError (or the specific failure status) rather than corrupting
+// state or panicking the device.
+
+func TestDescriptorValidationErrors(t *testing.T) {
+	r := newRig(t)
+	buf := r.alloc(4096)
+	small := r.alloc(64)
+
+	cases := []struct {
+		name string
+		d    Descriptor
+		want Status
+	}{
+		{
+			"unmapped source",
+			Descriptor{Op: OpMemmove, PASID: 1, Src: mem.Addr(0xdead), Dst: buf.Addr(0), Size: 64},
+			StatusError,
+		},
+		{
+			"source overrun",
+			Descriptor{Op: OpMemmove, PASID: 1, Src: small.Addr(0), Dst: buf.Addr(0), Size: 4096},
+			StatusError,
+		},
+		{
+			"destination overrun",
+			Descriptor{Op: OpMemmove, PASID: 1, Src: buf.Addr(0), Dst: small.Addr(0), Size: 4096},
+			StatusError,
+		},
+		{
+			"dif bad block size",
+			Descriptor{Op: OpDIFInsert, PASID: 1, Src: buf.Addr(0), Dst: buf.Addr(0), Size: 4096,
+				DIFBlock: dif.BlockSize(777)},
+			StatusError,
+		},
+		{
+			"delta unaligned region",
+			Descriptor{Op: OpCreateDelta, PASID: 1, Src: buf.Addr(0), Src2: buf.Addr(0),
+				Dst: buf.Addr(0), Size: 37, MaxDst: 1024},
+			StatusError,
+		},
+		{
+			"compare missing second source",
+			Descriptor{Op: OpCompare, PASID: 1, Src: buf.Addr(0), Src2: mem.Addr(0xbad), Size: 64},
+			StatusError,
+		},
+		{
+			"dualcast missing second destination",
+			Descriptor{Op: OpDualcast, PASID: 1, Src: buf.Addr(0), Dst: buf.Addr(0), Dst2: mem.Addr(0xbad), Size: 64},
+			StatusError,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := r.runSync(t, tc.d)
+			if rec.Status != tc.want {
+				t.Fatalf("status = %v (err=%v), want %v", rec.Status, rec.Err, tc.want)
+			}
+		})
+	}
+	// The device must still work after all the failures.
+	rec := r.runSync(t, Descriptor{Op: OpMemmove, PASID: 1, Src: buf.Addr(0), Dst: buf.Addr(64), Size: 64})
+	if rec.Status != StatusSuccess {
+		t.Fatalf("device wedged after error descriptors: %v", rec.Status)
+	}
+}
+
+func TestTransferSizeLimitEnforced(t *testing.T) {
+	r := newRig(t)
+	wq := r.dev.WQs()[0]
+	big := r.dev.Cfg.MaxTransfer + 1
+	if _, err := wq.Submit(Descriptor{Op: OpMemmove, PASID: 1, Size: big}); err == nil {
+		t.Fatal("oversized transfer accepted")
+	}
+}

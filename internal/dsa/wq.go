@@ -1,0 +1,108 @@
+package dsa
+
+import (
+	"fmt"
+
+	"dsasim/internal/sim"
+)
+
+// WQMode selects dedicated or shared work-queue semantics (§3.2).
+type WQMode int
+
+// Work queue modes.
+const (
+	// Dedicated WQs belong to a single client, submitted to with the
+	// posted MOVDIR64B write; software tracks occupancy.
+	Dedicated WQMode = iota
+	// Shared WQs accept ENQCMD from many clients without locking; the
+	// non-posted submission returns whether the descriptor was accepted.
+	Shared
+)
+
+// String returns "dedicated" or "shared".
+func (m WQMode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "dedicated"
+}
+
+// ErrWQFull reports a submission to a full queue. For shared WQs this is the
+// ENQCMD retry status; for dedicated WQs it means the client overran the
+// occupancy it is responsible for tracking.
+var ErrWQFull = fmt.Errorf("dsa: work queue full")
+
+// work is one queued descriptor with its completion handle.
+type work struct {
+	d         Descriptor
+	comp      *Completion
+	parent    *batchState // non-nil for batch sub-descriptors
+	fromBatch bool
+	enqueued  sim.Time
+}
+
+// WQ is one configured work queue.
+type WQ struct {
+	ID       int
+	Dev      *Device
+	Mode     WQMode
+	Size     int
+	Priority int
+
+	group    *Group
+	q        sim.FIFO[*work]
+	occupied int // entries consumed (freed on dispatch to an engine)
+
+	// statistics
+	submitted int64
+	maxOcc    int
+}
+
+// Group returns the group this WQ belongs to.
+func (w *WQ) Group() *Group { return w.group }
+
+// Occupancy returns the entries currently held.
+func (w *WQ) Occupancy() int { return w.occupied }
+
+// MaxOccupancy returns the high-water mark of entries held.
+func (w *WQ) MaxOccupancy() int { return w.maxOcc }
+
+// Submitted returns the number of descriptors accepted by this WQ.
+func (w *WQ) Submitted() int64 { return w.submitted }
+
+// Submit places a descriptor in the WQ at the current virtual instant,
+// returning a completion handle, or ErrWQFull when no entry is free. Submit
+// models only the device side: the core-side instruction cost (MOVDIR64B /
+// ENQCMD / retry loops) lives in Client.
+func (w *WQ) Submit(d Descriptor) (*Completion, error) {
+	if !w.Dev.enabled {
+		return nil, fmt.Errorf("dsa: device %s not enabled", w.Dev.Cfg.Name)
+	}
+	if w.occupied >= w.Size {
+		w.Dev.stats.Retries++
+		return nil, ErrWQFull
+	}
+	if d.Size > w.Dev.Cfg.MaxTransfer {
+		return nil, fmt.Errorf("dsa: transfer size %d exceeds device max %d", d.Size, w.Dev.Cfg.MaxTransfer)
+	}
+	if d.Op == OpBatch && len(d.Descs) > w.Dev.Cfg.MaxBatch {
+		return nil, fmt.Errorf("dsa: batch of %d exceeds device max %d", len(d.Descs), w.Dev.Cfg.MaxBatch)
+	}
+	if d.Op == OpBatch && len(d.Descs) < 2 {
+		return nil, fmt.Errorf("dsa: batch requires at least 2 descriptors")
+	}
+	comp := newCompletion(w.Dev.E)
+	comp.SubmitTime = w.Dev.E.Now()
+	wk := &work{d: d, comp: comp, enqueued: w.Dev.E.Now()}
+	w.occupied++
+	if w.occupied > w.maxOcc {
+		w.maxOcc = w.occupied
+	}
+	w.submitted++
+	w.Dev.stats.Submitted++
+	w.q.Push(wk)
+	// The descriptor becomes visible to the group arbiter after the portal
+	// fabric hop.
+	w.Dev.E.After(w.Dev.Cfg.Timing.PortalHop/2, w.group.dispatch)
+	return comp, nil
+}

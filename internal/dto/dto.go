@@ -1,0 +1,138 @@
+// Package dto models the DSA Transparent Offload library the paper's
+// authors built (§5, Appendix B): libc-style entry points — Memcpy,
+// Memmove, Memset, Memcmp — that intercept calls and transparently replace
+// them with synchronous DSA operations when the size crosses a threshold,
+// falling back to the CPU otherwise (or when the hardware path fails, e.g.
+// on a page fault, mirroring CacheBench's "redo on fault" policy).
+package dto
+
+import (
+	"dsasim/internal/dml"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// DefaultMinSize is the default offload threshold: the paper offloads
+// memcpy() calls of 8 KB and larger in the CacheLib study ("DSA improves
+// throughput ... generally at or above 8KB", Appendix B).
+const DefaultMinSize int64 = 8 << 10
+
+// Stats counts interposer activity.
+type Stats struct {
+	Calls         int64 // intercepted calls
+	Offloaded     int64 // executed on DSA
+	SmallFallback int64 // below-threshold calls run on the CPU
+	ErrorFallback int64 // hardware errors redone on the CPU
+	BytesOffload  int64
+	BytesCPU      int64
+}
+
+// Interposer intercepts memory-routine calls for one thread.
+type Interposer struct {
+	X       *dml.Executor
+	MinSize int64
+
+	stats Stats
+}
+
+// New wraps executor x with the default threshold.
+func New(x *dml.Executor) *Interposer {
+	return &Interposer{X: x, MinSize: DefaultMinSize}
+}
+
+// Stats returns a copy of the interposer counters.
+func (i *Interposer) Stats() Stats { return i.stats }
+
+// cpuFallback runs the software path after a hardware error.
+func (i *Interposer) cpuCopy(p *sim.Proc, dst, src mem.Addr, n int64) error {
+	dur, err := i.X.Core.Memcpy(dst, src, n)
+	if err != nil {
+		return err
+	}
+	p.Sleep(dur)
+	i.stats.BytesCPU += n
+	return nil
+}
+
+// Memcpy copies n bytes, offloading synchronously when n ≥ MinSize.
+func (i *Interposer) Memcpy(p *sim.Proc, dst, src mem.Addr, n int64) error {
+	i.stats.Calls++
+	if n < i.MinSize {
+		i.stats.SmallFallback++
+		return i.cpuCopy(p, dst, src, n)
+	}
+	if _, err := i.X.Copy(p, dst, src, n, dml.Hardware); err != nil {
+		i.stats.ErrorFallback++
+		return i.cpuCopy(p, dst, src, n)
+	}
+	i.stats.Offloaded++
+	i.stats.BytesOffload += n
+	return nil
+}
+
+// Memmove is Memcpy in this model (simulated buffers never alias in a way
+// the device mishandles; the DSA Memory Move operation handles overlap).
+func (i *Interposer) Memmove(p *sim.Proc, dst, src mem.Addr, n int64) error {
+	return i.Memcpy(p, dst, src, n)
+}
+
+// Memset fills n bytes at dst with the byte value c.
+func (i *Interposer) Memset(p *sim.Proc, dst mem.Addr, c byte, n int64) error {
+	i.stats.Calls++
+	pattern := uint64(0)
+	for k := 0; k < 8; k++ {
+		pattern = pattern<<8 | uint64(c)
+	}
+	if n < i.MinSize {
+		i.stats.SmallFallback++
+		dur, err := i.X.Core.Memset(dst, n, pattern)
+		if err != nil {
+			return err
+		}
+		p.Sleep(dur)
+		i.stats.BytesCPU += n
+		return nil
+	}
+	if _, err := i.X.Fill(p, dst, n, pattern, dml.Hardware); err != nil {
+		i.stats.ErrorFallback++
+		dur, err2 := i.X.Core.Memset(dst, n, pattern)
+		if err2 != nil {
+			return err2
+		}
+		p.Sleep(dur)
+		i.stats.BytesCPU += n
+		return nil
+	}
+	i.stats.Offloaded++
+	i.stats.BytesOffload += n
+	return nil
+}
+
+// Memcmp compares n bytes at a and b; equal reports whether they match.
+func (i *Interposer) Memcmp(p *sim.Proc, a, b mem.Addr, n int64) (equal bool, err error) {
+	i.stats.Calls++
+	if n < i.MinSize {
+		i.stats.SmallFallback++
+		_, eq, dur, err := i.X.Core.Memcmp(a, b, n)
+		if err != nil {
+			return false, err
+		}
+		p.Sleep(dur)
+		i.stats.BytesCPU += n
+		return eq, nil
+	}
+	res, err := i.X.Compare(p, a, b, n, dml.Hardware)
+	if err != nil {
+		i.stats.ErrorFallback++
+		_, eq, dur, err2 := i.X.Core.Memcmp(a, b, n)
+		if err2 != nil {
+			return false, err2
+		}
+		p.Sleep(dur)
+		i.stats.BytesCPU += n
+		return eq, nil
+	}
+	i.stats.Offloaded++
+	i.stats.BytesOffload += n
+	return !res.Mismatch, nil
+}

@@ -1,0 +1,155 @@
+package dto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dml"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+type rig struct {
+	e    *sim.Engine
+	as   *mem.AddressSpace
+	node *mem.Node
+	i    *Interposer
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	e := sim.New()
+	sys := mem.NewSystem(e, mem.SystemConfig{
+		Sockets: 1,
+		LLC:     mem.LLCConfig{Capacity: 105 << 20, Ways: 15, DDIOWays: 2},
+		NodeDefs: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+		},
+	})
+	dev := dsa.New(e, sys, dsa.DefaultConfig("dsa0", 0))
+	if _, err := dev.AddGroup(dsa.GroupConfig{Engines: 4, WQs: []dsa.WQConfig{{Mode: dsa.Shared, Size: 32}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace(1)
+	core := cpu.NewCore(0, 0, sys, as, cpu.SPRModel())
+	x, err := dml.New(as, core, dev.WQs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{e: e, as: as, node: sys.Node(0), i: New(x)}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.e.Go("test", fn)
+	r.e.Run()
+}
+
+func TestThresholdRouting(t *testing.T) {
+	r := newRig(t)
+	small := r.as.Alloc(4096, mem.OnNode(r.node))
+	big := r.as.Alloc(64<<10, mem.OnNode(r.node))
+	dstS := r.as.Alloc(4096, mem.OnNode(r.node))
+	dstB := r.as.Alloc(64<<10, mem.OnNode(r.node))
+	sim.NewRand(1).Bytes(small.Bytes())
+	sim.NewRand(2).Bytes(big.Bytes())
+
+	r.run(t, func(p *sim.Proc) {
+		if err := r.i.Memcpy(p, dstS.Addr(0), small.Addr(0), 4096); err != nil {
+			t.Error(err)
+		}
+		if err := r.i.Memcpy(p, dstB.Addr(0), big.Addr(0), 64<<10); err != nil {
+			t.Error(err)
+		}
+	})
+	st := r.i.Stats()
+	if st.SmallFallback != 1 || st.Offloaded != 1 {
+		t.Fatalf("routing = %+v", st)
+	}
+	if !bytes.Equal(dstS.Bytes(), small.Bytes()) || !bytes.Equal(dstB.Bytes(), big.Bytes()) {
+		t.Fatal("copies incomplete")
+	}
+}
+
+func TestMemsetByteExpansion(t *testing.T) {
+	r := newRig(t)
+	buf := r.as.Alloc(32<<10, mem.OnNode(r.node))
+	r.run(t, func(p *sim.Proc) {
+		if err := r.i.Memset(p, buf.Addr(0), 0xAB, buf.Size); err != nil {
+			t.Error(err)
+		}
+	})
+	for i, b := range buf.Bytes() {
+		if b != 0xAB {
+			t.Fatalf("byte %d = %#x", i, b)
+		}
+	}
+	if r.i.Stats().Offloaded != 1 {
+		t.Fatalf("32KB memset not offloaded: %+v", r.i.Stats())
+	}
+}
+
+func TestMemcmpBothPaths(t *testing.T) {
+	r := newRig(t)
+	a := r.as.Alloc(64<<10, mem.OnNode(r.node))
+	b := r.as.Alloc(64<<10, mem.OnNode(r.node))
+	sim.NewRand(3).Bytes(a.Bytes())
+	copy(b.Bytes(), a.Bytes())
+	r.run(t, func(p *sim.Proc) {
+		eq, err := r.i.Memcmp(p, a.Addr(0), b.Addr(0), 64<<10) // offloaded
+		if err != nil || !eq {
+			t.Errorf("big equal: %v %v", eq, err)
+		}
+		eq, err = r.i.Memcmp(p, a.Addr(0), b.Addr(0), 128) // CPU path
+		if err != nil || !eq {
+			t.Errorf("small equal: %v %v", eq, err)
+		}
+		b.Bytes()[40000] ^= 1
+		eq, err = r.i.Memcmp(p, a.Addr(0), b.Addr(0), 64<<10)
+		if err != nil || eq {
+			t.Errorf("mismatch not detected: %v %v", eq, err)
+		}
+	})
+}
+
+func TestPageFaultRedoneOnCPU(t *testing.T) {
+	// Appendix B: "the core would redo offloaded operations when
+	// encountering page faults during DSA offloading".
+	r := newRig(t)
+	src := r.as.Alloc(64<<10, mem.OnNode(r.node))
+	dst := r.as.Alloc(64<<10, mem.OnNode(r.node), mem.Lazy())
+	sim.NewRand(4).Bytes(src.Bytes())
+	r.run(t, func(p *sim.Proc) {
+		if err := r.i.Memcpy(p, dst.Addr(0), src.Addr(0), 64<<10); err != nil {
+			t.Error(err)
+		}
+	})
+	st := r.i.Stats()
+	if st.ErrorFallback != 1 {
+		t.Fatalf("fault fallback = %+v", st)
+	}
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("fallback copy incomplete")
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	r := newRig(t)
+	r.i.MinSize = 1 << 20
+	buf := r.as.Alloc(512<<10, mem.OnNode(r.node))
+	dst := r.as.Alloc(512<<10, mem.OnNode(r.node))
+	r.run(t, func(p *sim.Proc) {
+		if err := r.i.Memcpy(p, dst.Addr(0), buf.Addr(0), 512<<10); err != nil {
+			t.Error(err)
+		}
+	})
+	if st := r.i.Stats(); st.Offloaded != 0 || st.SmallFallback != 1 {
+		t.Fatalf("custom threshold ignored: %+v", st)
+	}
+}

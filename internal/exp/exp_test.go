@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAllExperimentsProduceSaneTables runs every experiment once and checks
+// structural sanity: at least one table, every table non-empty, every value
+// finite and non-negative.
+func TestAllExperimentsProduceSaneTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is long; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run()
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if len(tab.Series()) == 0 || len(tab.Xs()) == 0 {
+					t.Fatalf("table %s empty", tab.ID)
+				}
+				for _, s := range tab.Series() {
+					for _, x := range tab.Xs() {
+						v, ok := tab.Get(s, x)
+						if !ok {
+							continue
+						}
+						if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+							t.Fatalf("table %s series %s x=%v: bad value %v", tab.ID, s, x, v)
+						}
+					}
+				}
+				if tab.String() == "" || tab.CSV() == "" {
+					t.Fatalf("table %s failed to render", tab.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestByID covers the registry lookups.
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	seen := make(map[string]bool)
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// TestTable1AllVerified asserts every Table 1 operation verifies.
+func TestTable1AllVerified(t *testing.T) {
+	for _, r := range verifyOps() {
+		if !r.ok {
+			t.Errorf("operation %s failed functional verification", r.name)
+		}
+	}
+}

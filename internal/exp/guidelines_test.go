@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"testing"
+
+	"dsasim/internal/dsa"
+)
+
+// The paper distills its analysis into guidelines G1–G6 (§6). Each test
+// restates one guideline as a measurable predicate of the model, so a
+// regression that breaks a guideline's mechanism fails loudly.
+
+// G1: keep a balanced batch size and transfer size — for a fixed total,
+// oversplitting into many small descriptors loses to fewer larger ones.
+func TestG1BalancedBatchBeatsOversplitting(t *testing.T) {
+	total := int64(64 << 10)
+	run := func(bs int) float64 {
+		v := newEnv(1)
+		return v.runCopy(copyCfg{size: total / int64(bs), batch: bs, count: 40, qd: 1}).gbps
+	}
+	modest := run(4)
+	shredded := run(128)
+	if modest <= shredded {
+		t.Fatalf("G1 violated: BS4 (%.1f GB/s) should beat BS128 (%.1f GB/s) for a fixed 64KB total", modest, shredded)
+	}
+}
+
+// G2: use DSA asynchronously when possible — async throughput dominates
+// sync at every size; below ~4KB the core beats synchronous offload.
+func TestG2AsyncDominatesSync(t *testing.T) {
+	for _, size := range []int64{256, 4 << 10, 64 << 10, 1 << 20} {
+		vs := newEnv(1)
+		sync := vs.runCopy(copyCfg{size: size, count: 30, qd: 1}).gbps
+		va := newEnv(1)
+		async := va.runCopy(copyCfg{size: size, count: 150, qd: 32}).gbps
+		if async < sync {
+			t.Fatalf("G2 violated at %d bytes: async %.1f < sync %.1f", size, async, sync)
+		}
+	}
+	// The sync path below the threshold belongs on the core.
+	v := newEnv(1)
+	dsaSmall := v.runCopy(copyCfg{size: 1024, count: 30, qd: 1}).gbps
+	vc := newEnv(0)
+	cpuSmall := 1024.0 / float64(vc.swTime(dsa.OpMemmove, 1024, nil, nil, false, false))
+	if dsaSmall >= cpuSmall {
+		t.Fatalf("G2 violated: sync 1KB offload (%.2f GB/s) should lose to the core (%.2f GB/s)", dsaSmall, cpuSmall)
+	}
+}
+
+// G3: control the data destination wisely — cache-control steers writes
+// into the LLC (bounded by the DDIO ways); without it the LLC stays clean.
+func TestG3DestinationSteering(t *testing.T) {
+	v := newEnv(1)
+	llc := v.sys.SocketOf(0).LLC
+	v.runCopy(copyCfg{size: 1 << 20, count: 10, qd: 1})
+	if got := llc.Occupancy(v.devs[0].Owner()); got != 0 {
+		t.Fatalf("G3: memory-steered writes left %d bytes in LLC", got)
+	}
+	v2 := newEnv(1)
+	llc2 := v2.sys.SocketOf(0).LLC
+	v2.runCopy(copyCfg{size: 1 << 20, count: 10, qd: 1, flags: dsa.FlagCacheControl})
+	occ := llc2.Occupancy(v2.devs[0].Owner())
+	if occ == 0 {
+		t.Fatal("G3: cache-control writes did not allocate in LLC")
+	}
+	if occ > llc2.DDIOCapacity() {
+		t.Fatalf("G3: device occupancy %d exceeds DDIO partition %d", occ, llc2.DDIOCapacity())
+	}
+}
+
+// G4: DSA is the right engine for heterogeneous-memory moves — its
+// advantage over the core is larger on CXL than on DRAM, and the faster-
+// write medium belongs on the destination side.
+func TestG4HeterogeneousMemoryMoves(t *testing.T) {
+	size := int64(256 << 10)
+
+	vd := newEnv(1)
+	dsaDD := vd.runCopy(copyCfg{size: size, count: 30, qd: 32}).gbps
+	vc := newEnv(0)
+	cpuDD := float64(size) / float64(vc.swTime(dsa.OpMemmove, size, vc.node(0), vc.node(0), false, false))
+
+	vx := newEnv(1)
+	dsaCD := vx.runCopy(copyCfg{size: size, count: 30, qd: 32, srcNode: vx.node(2), dstNode: vx.node(0)}).gbps
+	vcx := newEnv(0)
+	cpuCD := float64(size) / float64(vcx.swTime(dsa.OpMemmove, size, vcx.node(2), vcx.node(0), false, false))
+
+	if dsaCD/cpuCD <= dsaDD/cpuDD {
+		t.Fatalf("G4 violated: CXL speedup (%.1fx) should exceed DRAM speedup (%.1fx)",
+			dsaCD/cpuCD, dsaDD/cpuDD)
+	}
+
+	// Destination on the faster-write medium (DRAM) wins.
+	vy := newEnv(1)
+	dsaDC := vy.runCopy(copyCfg{size: size, count: 30, qd: 32, srcNode: vy.node(0), dstNode: vy.node(2)}).gbps
+	if dsaDC >= dsaCD {
+		t.Fatalf("G4 violated: D→C (%.1f GB/s) should trail C→D (%.1f GB/s)", dsaDC, dsaCD)
+	}
+}
+
+// G5: leverage PE-level parallelism — more engines raise small-transfer
+// throughput.
+func TestG5PEParallelism(t *testing.T) {
+	run := func(engines int) float64 {
+		v := newEnv(1, dsa.GroupConfig{
+			Engines: engines,
+			WQs:     []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}},
+		})
+		return v.runCopy(copyCfg{size: 1 << 10, batch: 16, count: 60, qd: 16}).gbps
+	}
+	one := run(1)
+	four := run(4)
+	if four < 2*one {
+		t.Fatalf("G5 violated: 4 PEs (%.1f GB/s) should be ≥2x 1 PE (%.1f GB/s)", four, one)
+	}
+}
+
+// G6: optimize WQ configuration — 32 WQ entries deliver nearly the maximum
+// throughput; a single-thread SWQ trails a DWQ.
+func TestG6WQConfiguration(t *testing.T) {
+	run := func(entries int) float64 {
+		v := newEnv(1, dsa.GroupConfig{
+			Engines: 4,
+			WQs:     []dsa.WQConfig{{Mode: dsa.Dedicated, Size: entries}},
+		})
+		return v.runCopy(copyCfg{size: 16 << 10, count: 150, qd: entries}).gbps
+	}
+	if w32, w128 := run(32), run(128); w32 < 0.95*w128 {
+		t.Fatalf("G6 violated: 32 entries (%.1f GB/s) should reach ≥95%% of 128 (%.1f GB/s)", w32, w128)
+	}
+
+	vs := newEnv(1, dsa.GroupConfig{Engines: 4, WQs: []dsa.WQConfig{{Mode: dsa.Shared, Size: 32}}})
+	swq := vs.runCopy(copyCfg{size: 1 << 10, count: 200, qd: 32}).gbps
+	vd := newEnv(1, dsa.GroupConfig{Engines: 4, WQs: []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}}})
+	dwq := vd.runCopy(copyCfg{size: 1 << 10, count: 200, qd: 32}).gbps
+	if swq >= dwq {
+		t.Fatalf("G6 violated: single-thread SWQ (%.1f GB/s) should trail DWQ (%.1f GB/s)", swq, dwq)
+	}
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"bytes"
+
+	"dsasim/internal/delta"
+	"dsasim/internal/dif"
+	"dsasim/internal/dsa"
+	"dsasim/internal/isal"
+	"dsasim/internal/sim"
+)
+
+// opCheck is one Table 1 verification outcome.
+type opCheck struct {
+	name string
+	ok   bool
+}
+
+// verifyOps runs every Table 1 operation through the device and checks the
+// functional result against the software kernels.
+func verifyOps() []opCheck {
+	v := newEnv(1)
+	wq := v.devs[0].WQs()[0]
+	cl := dsa.NewClient(wq, nil)
+	node := v.node(0)
+
+	const n = 4096
+	src := v.buf(n, node, false, 0)
+	src2 := v.buf(n, node, false, 0)
+	dst := v.buf(n, node, false, 0)
+	dst2 := v.buf(n, node, false, 0)
+	prot := v.buf(n/512*520, node, false, 0)
+	prot2 := v.buf(n/512*520, node, false, 0)
+	rec := v.buf(2*n, node, false, 0)
+	sim.NewRand(17).Bytes(src.Bytes())
+	copy(src2.Bytes(), src.Bytes())
+	src2.Bytes()[99] ^= 0xFF
+	tags := dif.Tags{AppTag: 0xD15A, RefTag: 7, IncrementRef: true}
+	newTags := dif.Tags{AppTag: 0xBEEF, RefTag: 100}
+
+	var out []opCheck
+	run := func(name string, d dsa.Descriptor, check func(r dsa.CompletionRecord) bool) {
+		var rcd dsa.CompletionRecord
+		v.e.Go(name, func(p *sim.Proc) {
+			comp, err := cl.RunSync(p, d, dsa.Poll)
+			if err != nil {
+				return
+			}
+			rcd = comp.Record()
+		})
+		v.e.Run()
+		out = append(out, opCheck{name: name, ok: check(rcd)})
+	}
+
+	run("memory_copy", dsa.Descriptor{Op: dsa.OpMemmove, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Size: n},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && bytes.Equal(dst.Bytes(), src.Bytes())
+		})
+	run("dualcast", dsa.Descriptor{Op: dsa.OpDualcast, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Dst2: dst2.Addr(0), Size: n},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && bytes.Equal(dst2.Bytes(), src.Bytes())
+		})
+	run("crc_generation", dsa.Descriptor{Op: dsa.OpCRCGen, PASID: 1, Src: src.Addr(0), Size: n},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && uint32(r.Result) == isal.CRC32(0, src.Bytes())
+		})
+	run("copy_crc", dsa.Descriptor{Op: dsa.OpCopyCRC, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Size: n},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && uint32(r.Result) == isal.CRC32(0, src.Bytes())
+		})
+	run("dif_insert", dsa.Descriptor{Op: dsa.OpDIFInsert, PASID: 1, Src: src.Addr(0), Dst: prot.Addr(0), Size: n, DIFBlock: dif.Block512, DIFTags: tags},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && dif.Check(prot.Bytes(), dif.Block512, tags) == nil
+		})
+	run("dif_check", dsa.Descriptor{Op: dsa.OpDIFCheck, PASID: 1, Src: prot.Addr(0), Size: prot.Size, DIFBlock: dif.Block512, DIFTags: tags},
+		func(r dsa.CompletionRecord) bool { return r.Status == dsa.StatusSuccess })
+	run("dif_update", dsa.Descriptor{Op: dsa.OpDIFUpdate, PASID: 1, Src: prot.Addr(0), Dst: prot2.Addr(0), Size: prot.Size, DIFBlock: dif.Block512, DIFTags: tags, DIFTags2: newTags},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && dif.Check(prot2.Bytes(), dif.Block512, newTags) == nil
+		})
+	run("dif_strip", dsa.Descriptor{Op: dsa.OpDIFStrip, PASID: 1, Src: prot.Addr(0), Dst: dst.Addr(0), Size: prot.Size, DIFBlock: dif.Block512, DIFTags: tags},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && bytes.Equal(dst.Bytes(), src.Bytes())
+		})
+	run("memory_fill", dsa.Descriptor{Op: dsa.OpFill, PASID: 1, Dst: dst.Addr(0), Size: n, Pattern: 0x1122334455667788},
+		func(r dsa.CompletionRecord) bool {
+			_, eq := isal.ComparePattern(dst.Bytes(), 0x1122334455667788)
+			return r.Status == dsa.StatusSuccess && eq
+		})
+	run("memory_compare", dsa.Descriptor{Op: dsa.OpCompare, PASID: 1, Src: src.Addr(0), Src2: src2.Addr(0), Size: n},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && r.Mismatch && r.Result == 99
+		})
+	run("compare_pattern", dsa.Descriptor{Op: dsa.OpComparePattern, PASID: 1, Src: dst.Addr(0), Size: n, Pattern: 0x1122334455667788},
+		func(r dsa.CompletionRecord) bool { return r.Status == dsa.StatusSuccess && !r.Mismatch })
+
+	var deltaLen int64
+	run("create_delta", dsa.Descriptor{Op: dsa.OpCreateDelta, PASID: 1, Src: src.Addr(0), Src2: src2.Addr(0), Dst: rec.Addr(0), Size: n, MaxDst: rec.Size},
+		func(r dsa.CompletionRecord) bool {
+			deltaLen = int64(r.Result)
+			return r.Status == dsa.StatusSuccess && delta.Count(int(deltaLen)) == 1
+		})
+	run("apply_delta", dsa.Descriptor{Op: dsa.OpApplyDelta, PASID: 1, Src: rec.Addr(0), Dst: src.Addr(0), Size: deltaLen, MaxDst: n},
+		func(r dsa.CompletionRecord) bool {
+			return r.Status == dsa.StatusSuccess && bytes.Equal(src.Bytes(), src2.Bytes())
+		})
+	run("cache_flush", dsa.Descriptor{Op: dsa.OpCacheFlush, PASID: 1, Src: src.Addr(0), Size: n},
+		func(r dsa.CompletionRecord) bool { return r.Status == dsa.StatusSuccess })
+	run("drain", dsa.Descriptor{Op: dsa.OpDrain, PASID: 1},
+		func(r dsa.CompletionRecord) bool { return r.Status == dsa.StatusSuccess })
+	run("nop", dsa.Descriptor{Op: dsa.OpNop, PASID: 1},
+		func(r dsa.CompletionRecord) bool { return r.Status == dsa.StatusSuccess })
+
+	return out
+}

@@ -1,0 +1,215 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// Barrier synchronizes a fixed set of simulated processes across steps.
+type Barrier struct {
+	e       *sim.Engine
+	n       int
+	arrived int
+	gen     int
+	sig     sim.Signal
+}
+
+// NewBarrier creates a barrier for n processes.
+func NewBarrier(e *sim.Engine, n int) *Barrier {
+	return &Barrier{e: e, n: n}
+}
+
+// Wait blocks until all n processes have arrived.
+func (b *Barrier) Wait(p *sim.Proc) {
+	g := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.sig.Broadcast(b.e)
+		return
+	}
+	for b.gen == g {
+		p.Wait(&b.sig)
+	}
+}
+
+// reduceGBps is the core's byte-wise reduction rate (AVX-style vector add:
+// two reads, one write over LLC-warm chunks).
+const reduceGBps = 25.0
+
+// AllReduceResult reports one collective measurement.
+type AllReduceResult struct {
+	Duration time.Duration // per AllReduce operation
+	Verified bool          // all ranks converged to the correct reduction
+}
+
+// AllReduce runs a ring all-reduce (reduce-scatter + all-gather) of m bytes
+// across the given number of ranks, with byte-wise wrap-around addition as
+// the reduction operator, and returns the measured per-operation time. The
+// payloads are real: the result is verified against a serial reduction.
+func AllReduce(d *Domain, ranks int, m int64, iters int) (AllReduceResult, error) {
+	if ranks < 2 {
+		return AllReduceResult{}, fmt.Errorf("fabric: all-reduce needs ≥2 ranks")
+	}
+	// Pad so chunks are equal and 8-byte aligned.
+	chunk := (m + int64(ranks)*8 - 1) / (int64(ranks) * 8) * 8
+	total := chunk * int64(ranks)
+
+	eps := make([]*Endpoint, ranks)
+	data := make([]*mem.Buffer, ranks)
+	stage := make([]*mem.Buffer, ranks)
+	for r := 0; r < ranks; r++ {
+		ep, err := d.NewEndpoint()
+		if err != nil {
+			return AllReduceResult{}, err
+		}
+		ep.SerializeCopies = true // every rank is busy during collectives
+		eps[r] = ep
+		data[r] = ep.Alloc(total)
+		stage[r] = ep.Alloc(chunk)
+		sim.NewRand(uint64(r)*977 + 13).Bytes(data[r].Bytes())
+	}
+	// Expected result: byte-wise sum across ranks.
+	want := make([]byte, total)
+	for r := 0; r < ranks; r++ {
+		for i, v := range data[r].Bytes() {
+			want[i] += v
+		}
+	}
+
+	bar := NewBarrier(d.E, ranks)
+	var elapsed sim.Time
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		r := r
+		ep := eps[r]
+		next := eps[(r+1)%ranks]
+		d.E.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			start := p.Now()
+			for it := 0; it < iters; it++ {
+				// Reduce-scatter: after R-1 steps, rank r holds the fully
+				// reduced chunk (r+1) mod R.
+				for s := 0; s < ranks-1; s++ {
+					ci := ((r-s)%ranks + ranks) % ranks
+					if err := ep.Send(p, next, data[r], int64(ci)*chunk, stage[(r+1)%ranks], 0, chunk); err != nil {
+						fail(err)
+						return
+					}
+					bar.Wait(p) // all segments delivered for this step
+					// Reduce the received chunk into the local buffer.
+					ri := ((r-s-1)%ranks + ranks) % ranks
+					dst := data[r].Slice(int64(ri)*chunk, chunk)
+					src := stage[r].Bytes()
+					for i := range dst {
+						dst[i] += src[i]
+					}
+					red := sim.GBps(chunk, reduceGBps)
+					ep.Core.ChargeBusy(red)
+					if d.Mode == CPUCopy {
+						// The core both copies and reduces: the phases
+						// serialize. With DSA moving the data, the core
+						// reduces while the device streams the next
+						// segments, hiding the reduction (G2).
+						p.Sleep(red)
+					}
+					bar.Wait(p)
+				}
+				// All-gather: circulate the reduced chunks.
+				for s := 0; s < ranks-1; s++ {
+					ci := ((r+1-s)%ranks + ranks) % ranks
+					if err := ep.Send(p, next, data[r], int64(ci)*chunk, data[(r+1)%ranks], int64(ci)*chunk, chunk); err != nil {
+						fail(err)
+						return
+					}
+					bar.Wait(p)
+				}
+			}
+			if t := p.Now() - start; t > elapsed {
+				elapsed = t
+			}
+		})
+	}
+	d.E.Run()
+	if runErr != nil {
+		return AllReduceResult{}, runErr
+	}
+	verified := true
+	for r := 0; r < ranks; r++ {
+		if !bytes.Equal(data[r].Bytes(), want) {
+			verified = false
+		}
+	}
+	return AllReduceResult{
+		Duration: time.Duration(int64(elapsed) / int64(iters)),
+		Verified: verified,
+	}, nil
+}
+
+// BERTConfig drives the MLPerf BERT pretraining phase model (Fig 18).
+type BERTConfig struct {
+	Ranks int
+	// GradBytes is the gradient volume all-reduced per iteration
+	// (BERT-large mixed precision ≈ 650 MB).
+	GradBytes int64
+	// Forward and Backward are the per-iteration compute phase times
+	// (unaffected by the copy engine).
+	Forward  time.Duration
+	Backward time.Duration
+	// SimBytes caps the actually simulated all-reduce volume; the
+	// measured time scales linearly to GradBytes (bandwidth-dominated).
+	SimBytes int64
+}
+
+// BERTResult reports the per-iteration phase timings of Fig 18: AR
+// (AllReduce), FT (forward), BT (backward), TT (total).
+type BERTResult struct {
+	AllReduce time.Duration
+	Forward   time.Duration
+	Backward  time.Duration
+	Total     time.Duration
+	Verified  bool
+}
+
+// BERT runs the phase model on domain d.
+func BERT(d *Domain, cfg BERTConfig) (BERTResult, error) {
+	if cfg.GradBytes == 0 {
+		cfg.GradBytes = 650 << 20
+	}
+	// Compute phases sized so the communication share matches the paper's
+	// end-to-end observation (a few percent of iteration time, Fig 18).
+	if cfg.Forward == 0 {
+		cfg.Forward = 1500 * time.Millisecond
+	}
+	if cfg.Backward == 0 {
+		cfg.Backward = 2900 * time.Millisecond
+	}
+	if cfg.SimBytes == 0 {
+		cfg.SimBytes = 8 << 20
+	}
+	simBytes := cfg.GradBytes
+	if simBytes > cfg.SimBytes {
+		simBytes = cfg.SimBytes
+	}
+	ar, err := AllReduce(d, cfg.Ranks, simBytes, 1)
+	if err != nil {
+		return BERTResult{}, err
+	}
+	scaled := time.Duration(float64(ar.Duration) * float64(cfg.GradBytes) / float64(simBytes))
+	return BERTResult{
+		AllReduce: scaled,
+		Forward:   cfg.Forward,
+		Backward:  cfg.Backward,
+		Total:     cfg.Forward + cfg.Backward + scaled,
+		Verified:  ar.Verified,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package isal
+
+import "bytes"
+
+// The remaining kernels mirror the memory routines the paper's software
+// baselines use (glibc memcpy/memset/memcmp and pattern compare). They exist
+// so device and baseline share one functional implementation.
+
+// Fill writes the 8-byte little-endian pattern repeatedly across dst,
+// truncating the final word, exactly as the DSA Memory Fill operation does.
+func Fill(dst []byte, pattern uint64) {
+	var pat [8]byte
+	for i := 0; i < 8; i++ {
+		pat[i] = byte(pattern >> (8 * i))
+	}
+	n := copy(dst, pat[:])
+	// Double the initialized prefix each iteration (log n copies).
+	for n < len(dst) {
+		n += copy(dst[n:], dst[:n])
+	}
+}
+
+// Compare returns the offset of the first differing byte and false, or
+// (0, true) if a and b are identical. It mirrors the DSA Memory Compare
+// result fields (match flag + mismatch offset in the completion record).
+func Compare(a, b []byte) (mismatch int64, equal bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return int64(i), false
+		}
+	}
+	if len(a) != len(b) {
+		return int64(n), false
+	}
+	return 0, true
+}
+
+// ComparePattern checks src against a repeated 8-byte pattern, returning the
+// offset of the first mismatching byte, as the DSA Compare Pattern operation
+// reports.
+func ComparePattern(src []byte, pattern uint64) (mismatch int64, equal bool) {
+	var pat [8]byte
+	for i := 0; i < 8; i++ {
+		pat[i] = byte(pattern >> (8 * i))
+	}
+	for i := 0; i < len(src); i++ {
+		if src[i] != pat[i%8] {
+			return int64(i), false
+		}
+	}
+	return 0, true
+}
+
+// Equal reports whether a and b have identical contents (memcmp == 0).
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,58 @@
+package mem
+
+import (
+	"time"
+
+	"dsasim/internal/sim"
+)
+
+// IOMMU models the SoC IOMMU the DSA's address translation cache falls back
+// to: translation requests either hit recently used mappings or pay a page
+// walk, and accesses to unmapped pages raise faults that the OS resolves
+// after a handling delay (§3.2: the ATC "interacts with the IOMMU on the
+// SoC"; §4.3 motivates multiple PEs with "lengthy page fault handling").
+type IOMMU struct {
+	e   *sim.Engine
+	cfg IOMMUConfig
+
+	walks  int64
+	faults int64
+}
+
+// IOMMUConfig holds the translation timing parameters.
+type IOMMUConfig struct {
+	// WalkLat is the page-table walk latency on an ATC miss.
+	WalkLat time.Duration
+	// FaultLat is the OS page-fault resolution latency (device blocked
+	// when the descriptor sets block-on-fault).
+	FaultLat time.Duration
+}
+
+// NewIOMMU builds an IOMMU with cfg, applying defaults for zero fields.
+func NewIOMMU(e *sim.Engine, cfg IOMMUConfig) *IOMMU {
+	if cfg.WalkLat == 0 {
+		cfg.WalkLat = 200 * time.Nanosecond
+	}
+	if cfg.FaultLat == 0 {
+		cfg.FaultLat = 20 * time.Microsecond
+	}
+	return &IOMMU{e: e, cfg: cfg}
+}
+
+// WalkLat returns the page-walk latency and counts the walk.
+func (m *IOMMU) WalkLat() time.Duration {
+	m.walks++
+	return m.cfg.WalkLat
+}
+
+// FaultLat returns the fault-resolution latency and counts the fault.
+func (m *IOMMU) FaultLat() time.Duration {
+	m.faults++
+	return m.cfg.FaultLat
+}
+
+// Walks returns the cumulative number of page walks served.
+func (m *IOMMU) Walks() int64 { return m.walks }
+
+// Faults returns the cumulative number of page faults handled.
+func (m *IOMMU) Faults() int64 { return m.faults }

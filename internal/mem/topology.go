@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"fmt"
+	"time"
+
+	"dsasim/internal/sim"
+)
+
+// System is the platform memory topology: sockets, NUMA nodes, the UPI
+// cross-socket interconnect, and per-socket LLCs. A System also owns the
+// IOMMU used for device-side address translation.
+type System struct {
+	E       *sim.Engine
+	Sockets []*Socket
+	Nodes   []*Node
+	IOMMU   *IOMMU
+
+	// UPILat is the added latency for one cross-socket hop.
+	UPILat time.Duration
+	// upi is the shared cross-socket bandwidth pipe (one per direction is
+	// not modelled; contention is symmetric in our experiments).
+	upi *sim.Pipe
+}
+
+// Socket groups the resources of one physical package.
+type Socket struct {
+	ID    int
+	LLC   *LLC
+	Nodes []*Node // nodes homed to this socket (DRAM first, then CXL if any)
+}
+
+// SystemConfig describes a platform to construct.
+type SystemConfig struct {
+	Sockets  int
+	LLC      LLCConfig
+	UPILat   time.Duration
+	UPIGBps  float64
+	IOMMU    IOMMUConfig
+	NodeDefs []NodeConfig
+}
+
+// NewSystem builds a System from cfg on engine e.
+func NewSystem(e *sim.Engine, cfg SystemConfig) *System {
+	if cfg.Sockets <= 0 {
+		panic("mem: system needs at least one socket")
+	}
+	s := &System{
+		E:      e,
+		UPILat: cfg.UPILat,
+		IOMMU:  NewIOMMU(e, cfg.IOMMU),
+	}
+	if cfg.UPIGBps > 0 {
+		s.upi = sim.NewPipe(e, cfg.UPIGBps)
+	}
+	for i := 0; i < cfg.Sockets; i++ {
+		s.Sockets = append(s.Sockets, &Socket{ID: i, LLC: NewLLC(cfg.LLC)})
+	}
+	for _, nc := range cfg.NodeDefs {
+		s.AddNode(nc)
+	}
+	return s
+}
+
+// AddNode creates a node from nc, registers it, and returns it.
+func (s *System) AddNode(nc NodeConfig) *Node {
+	if nc.Socket < 0 || nc.Socket >= len(s.Sockets) {
+		panic(fmt.Sprintf("mem: node socket %d out of range", nc.Socket))
+	}
+	n := &Node{
+		ID:       len(s.Nodes),
+		Socket:   nc.Socket,
+		Kind:     nc.Kind,
+		ReadLat:  nc.ReadLat,
+		WriteLat: nc.WriteLat,
+		read:     sim.NewPipe(s.E, nc.ReadGBps),
+		write:    sim.NewPipe(s.E, nc.WriteGBps),
+	}
+	s.Nodes = append(s.Nodes, n)
+	sock := s.Sockets[nc.Socket]
+	sock.Nodes = append(sock.Nodes, n)
+	return n
+}
+
+// Node returns the node with the given ID.
+func (s *System) Node(id int) *Node {
+	if id < 0 || id >= len(s.Nodes) {
+		panic(fmt.Sprintf("mem: no node %d", id))
+	}
+	return s.Nodes[id]
+}
+
+// AccessLat returns the idle first-word latency for an agent on socket
+// fromSocket reading (write=false) or writing (write=true) memory on node n,
+// including the UPI hop when the node is remote.
+func (s *System) AccessLat(fromSocket int, n *Node, write bool) time.Duration {
+	lat := n.ReadLat
+	if write {
+		lat = n.WriteLat
+	}
+	if n.Socket != fromSocket {
+		lat += s.UPILat
+	}
+	return lat
+}
+
+// ReserveTraffic books read or write traffic on node n from an agent on
+// fromSocket, routing through the UPI pipe when crossing sockets. It returns
+// the completion instant of the transfer under current contention.
+func (s *System) ReserveTraffic(fromSocket int, n *Node, bytes int64, write bool) sim.Time {
+	return s.ReserveTrafficAt(s.E.Now(), fromSocket, n, bytes, write)
+}
+
+// ReserveTrafficAt is ReserveTraffic with an explicit earliest start instant,
+// for agents (such as the DSA engines) that book traffic for a transfer
+// starting later in their pipeline.
+func (s *System) ReserveTrafficAt(t sim.Time, fromSocket int, n *Node, bytes int64, write bool) sim.Time {
+	var done sim.Time
+	if write {
+		done = n.ReserveWriteAt(t, bytes)
+	} else {
+		done = n.ReserveReadAt(t, bytes)
+	}
+	if n.Socket != fromSocket && s.upi != nil {
+		upiDone := s.upi.ReserveAt(t, bytes)
+		if upiDone > done {
+			done = upiDone
+		}
+	}
+	return done
+}
+
+// SocketOf returns the socket structure with the given ID.
+func (s *System) SocketOf(id int) *Socket {
+	if id < 0 || id >= len(s.Sockets) {
+		panic(fmt.Sprintf("mem: no socket %d", id))
+	}
+	return s.Sockets[id]
+}

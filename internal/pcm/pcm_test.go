@@ -1,0 +1,67 @@
+package pcm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+func TestMonitorDeltas(t *testing.T) {
+	e := sim.New()
+	sys := mem.NewSystem(e, mem.SystemConfig{
+		Sockets: 1,
+		LLC:     mem.LLCConfig{Capacity: 105 << 20},
+		NodeDefs: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+		},
+	})
+	dev := dsa.New(e, sys, dsa.DefaultConfig("dsa0", 0))
+	if _, err := dev.AddGroup(dsa.GroupConfig{Engines: 4, WQs: []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Enable(); err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace(1)
+	dev.BindPASID(as)
+	src := as.Alloc(16<<10, mem.OnNode(sys.Node(0)))
+	dst := as.Alloc(16<<10, mem.OnNode(sys.Node(0)))
+
+	m := NewMonitor(e, dev)
+	cl := dsa.NewClient(dev.WQs()[0], nil)
+	e.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if _, err := cl.RunSync(p, dsa.Descriptor{
+				Op: dsa.OpMemmove, PASID: 1, Src: src.Addr(0), Dst: dst.Addr(0), Size: 16 << 10,
+			}, dsa.Poll); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	e.Run()
+
+	s := m.Sample()
+	if len(s) != 1 {
+		t.Fatalf("samples = %d", len(s))
+	}
+	if s[0].InboundBytes != 4*16<<10 || s[0].OutboundBytes != 4*16<<10 {
+		t.Fatalf("traffic = %+v", s[0])
+	}
+	if s[0].Descriptors != 4 {
+		t.Fatalf("descriptors = %d", s[0].Descriptors)
+	}
+	// Second sample with no traffic: all deltas zero.
+	s2 := m.Sample()
+	if s2[0].InboundBytes != 0 || s2[0].Descriptors != 0 {
+		t.Fatalf("second sample not zero: %+v", s2[0])
+	}
+	out := Format(s)
+	if !strings.Contains(out, "dsa0") || !strings.Contains(out, "DESCS") {
+		t.Fatalf("Format output missing fields:\n%s", out)
+	}
+}

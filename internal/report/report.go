@@ -1,0 +1,175 @@
+// Package report renders experiment results as paper-style tables and data
+// series: fixed-width text for the terminal and CSV for plotting. Every
+// experiment in internal/exp produces a report.Table.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a titled grid of series: one row per x value, one column per
+// series.
+type Table struct {
+	ID     string // experiment id, e.g. "fig3"
+	Title  string
+	XLabel string
+	YLabel string
+	Notes  []string
+
+	xs     []float64
+	xNames map[float64]string // optional categorical x labels
+	series []string
+	data   map[string]map[float64]float64
+}
+
+// New creates an empty table.
+func New(id, title, xlabel, ylabel string) *Table {
+	return &Table{
+		ID: id, Title: title, XLabel: xlabel, YLabel: ylabel,
+		xNames: make(map[float64]string),
+		data:   make(map[string]map[float64]float64),
+	}
+}
+
+// Note appends a free-form annotation rendered under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Set records y for (series, x), creating the series and x row as needed.
+func (t *Table) Set(series string, x, y float64) {
+	if _, ok := t.data[series]; !ok {
+		t.data[series] = make(map[float64]float64)
+		t.series = append(t.series, series)
+	}
+	if _, seen := t.data[series][x]; !seen {
+		if !t.hasX(x) {
+			t.xs = append(t.xs, x)
+			sort.Float64s(t.xs)
+		}
+	}
+	t.data[series][x] = y
+}
+
+// SetNamed records y for (series, x) with a categorical x label.
+func (t *Table) SetNamed(series, xname string, x, y float64) {
+	t.Set(series, x, y)
+	t.xNames[x] = xname
+}
+
+func (t *Table) hasX(x float64) bool {
+	i := sort.SearchFloat64s(t.xs, x)
+	return i < len(t.xs) && t.xs[i] == x
+}
+
+// Get returns the value for (series, x) and whether it exists.
+func (t *Table) Get(series string, x float64) (float64, bool) {
+	m, ok := t.data[series]
+	if !ok {
+		return 0, false
+	}
+	v, ok := m[x]
+	return v, ok
+}
+
+// Series returns the series names in insertion order.
+func (t *Table) Series() []string { return t.series }
+
+// Xs returns the sorted x values.
+func (t *Table) Xs() []float64 { return t.xs }
+
+// xLabel formats an x value, preferring a categorical name, then
+// power-of-two byte formatting.
+func (t *Table) xLabel(x float64) string {
+	if n, ok := t.xNames[x]; ok {
+		return n
+	}
+	return FormatBytes(x)
+}
+
+// FormatBytes renders sizes like the paper's axes (256, 1K, 64K, 1M).
+func FormatBytes(v float64) string {
+	switch {
+	case v >= 1<<30 && float64(int64(v)>>30)*float64(1<<30) == v:
+		return fmt.Sprintf("%dG", int64(v)>>30)
+	case v >= 1<<20 && float64(int64(v)>>20)*float64(1<<20) == v:
+		return fmt.Sprintf("%dM", int64(v)>>20)
+	case v >= 1<<10 && float64(int64(v)>>10)*float64(1<<10) == v:
+		return fmt.Sprintf("%dK", int64(v)>>10)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the fixed-width table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "(y = %s)\n", t.YLabel)
+	w := 12
+	fmt.Fprintf(&b, "%-*s", w, t.XLabel)
+	for _, s := range t.series {
+		fmt.Fprintf(&b, "%*s", w, s)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs {
+		fmt.Fprintf(&b, "%-*s", w, t.xLabel(x))
+		for _, s := range t.series {
+			if v, ok := t.data[s][x]; ok {
+				fmt.Fprintf(&b, "%*s", w, formatVal(v))
+			} else {
+				fmt.Fprintf(&b, "%*s", w, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func formatVal(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs {
+		b.WriteString(t.xLabel(x))
+		for _, s := range t.series {
+			if v, ok := t.data[s][x]; ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

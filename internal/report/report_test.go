@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetGetAndOrdering(t *testing.T) {
+	tb := New("id", "title", "x", "y")
+	tb.Set("b", 1024, 2.5)
+	tb.Set("a", 256, 1.0)
+	tb.Set("a", 1024, 3.0)
+	if got := tb.Series(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("series order = %v, want insertion order [b a]", got)
+	}
+	xs := tb.Xs()
+	if len(xs) != 2 || xs[0] != 256 || xs[1] != 1024 {
+		t.Fatalf("xs = %v, want sorted [256 1024]", xs)
+	}
+	if v, ok := tb.Get("a", 1024); !ok || v != 3.0 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if _, ok := tb.Get("a", 999); ok {
+		t.Fatal("Get of absent x succeeded")
+	}
+	if _, ok := tb.Get("z", 256); ok {
+		t.Fatal("Get of absent series succeeded")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[float64]string{
+		256:      "256",
+		1 << 10:  "1K",
+		64 << 10: "64K",
+		1 << 20:  "1M",
+		4 << 20:  "4M",
+		1 << 30:  "1G",
+		1000:     "1000",
+		2.5:      "2.50",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tb := New("fig", "demo", "xfer", "GB/s")
+	tb.Set("DSA", 4096, 29.5)
+	tb.Set("CPU", 4096, 3.2)
+	tb.Note("hello %d", 42)
+	out := tb.String()
+	for _, want := range []string{"fig", "demo", "GB/s", "4K", "29.50", "3.20", "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cells render as dashes.
+	tb.Set("DSA", 8192, 30)
+	if !strings.Contains(tb.String(), "-") {
+		t.Fatal("missing cell not rendered as dash")
+	}
+}
+
+func TestNamedCategories(t *testing.T) {
+	tb := New("id", "t", "cfg", "ratio")
+	tb.SetNamed("s", "1h1s", 0, 1.5)
+	tb.SetNamed("s", "2h2s", 1, 1.7)
+	if !strings.Contains(tb.String(), "1h1s") {
+		t.Fatal("categorical label not rendered")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("id", "t", "xfer", "GB/s")
+	tb.Set("a,b", 256, 1.5) // comma in series name must be escaped
+	tb.Set("c", 256, 2)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2:\n%s", len(lines), csv)
+	}
+	if lines[0] != "xfer,a;b,c" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "256,1.5,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	for in, want := range map[float64]string{
+		0:        "0",
+		0.123:    "0.123",
+		12.3456:  "12.35",
+		1234:     "1234",
+		12345678: "1.23e+07",
+	} {
+		if got := formatVal(in); got != want {
+			t.Errorf("formatVal(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing events in timestamp order.
+// Virtual instants and durations are both expressed as time.Duration offsets
+// from the start of the simulation, which keeps arithmetic trivial and makes
+// log output readable. Two styles of simulated activity are supported:
+//
+//   - plain callbacks scheduled with At/After, and
+//   - cooperative processes (Proc) that read like straight-line code and
+//     park themselves on the clock or on Signals (see proc.go).
+//
+// Execution is fully deterministic: ties in timestamp are broken by a
+// monotonically increasing sequence number, and processes run one at a time
+// under the engine's control.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual instant, expressed as the duration elapsed since the
+// start of the simulation. Durations and instants share this representation.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with New.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   int // live processes, for leak detection
+	stopped bool
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual instant t. Scheduling in the past panics:
+// it is always a bug in the simulation model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// step executes the earliest event. It reports false when no events remain.
+func (e *Engine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain. It panics if processes are still
+// parked when the event queue drains — that is a deadlocked model.
+func (e *Engine) Run() {
+	for e.step() {
+		if e.stopped {
+			e.stopped = false
+			return
+		}
+	}
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events", e.procs))
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		if !e.step() {
+			break
+		}
+		if e.stopped {
+			e.stopped = false
+			return
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Stop makes the current Run/RunUntil call return after the current event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// GBps converts a byte count moved at rate gigabytesPerSecond into a
+// duration. 1 GB/s is exactly 1 byte/ns, so the math stays in nanoseconds.
+func GBps(bytes int64, gigabytesPerSecond float64) Time {
+	if gigabytesPerSecond <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	return Time(float64(bytes) / gigabytesPerSecond)
+}
+
+// Rate converts a byte count and a duration into achieved GB/s.
+func Rate(bytes int64, d Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(d)
+}

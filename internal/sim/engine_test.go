@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30*time.Nanosecond, func() { order = append(order, 3) })
+	e.At(10*time.Nanosecond, func() { order = append(order, 1) })
+	e.At(20*time.Nanosecond, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*time.Nanosecond {
+		t.Fatalf("Now = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineTieBreaksBySequence(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*time.Nanosecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	hits := 0
+	e.After(time.Microsecond, func() {
+		hits++
+		e.After(time.Microsecond, func() { hits++ })
+	})
+	e.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if e.Now() != 2*time.Microsecond {
+		t.Fatalf("Now = %v, want 2µs", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.After(10*time.Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*time.Nanosecond, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(100*time.Nanosecond, func() { ran = true })
+	e.RunUntil(50 * time.Nanosecond)
+	if ran {
+		t.Fatal("event after boundary ran")
+	}
+	if e.Now() != 50*time.Nanosecond {
+		t.Fatalf("Now = %v, want 50ns", e.Now())
+	}
+	e.RunUntil(100 * time.Nanosecond)
+	if !ran {
+		t.Fatal("event at boundary did not run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i)*time.Nanosecond, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count after Stop = %d, want 2", count)
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count after resume = %d, want 5", count)
+	}
+}
+
+func TestGBpsRoundTrip(t *testing.T) {
+	// 30 GB/s moving 3 MB should take 100 µs.
+	d := GBps(3_000_000, 30)
+	if d != 100*time.Microsecond {
+		t.Fatalf("GBps = %v, want 100µs", d)
+	}
+	if got := Rate(3_000_000, d); got < 29.99 || got > 30.01 {
+		t.Fatalf("Rate = %v, want 30", got)
+	}
+}
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := New()
+	var woke Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Microsecond)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 42*time.Microsecond {
+		t.Fatalf("woke at %v, want 42µs", woke)
+	}
+}
+
+func TestProcInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(10 * time.Nanosecond)
+					log = append(log, name)
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, got)
+			}
+		}
+	}
+}
+
+func TestSignalBroadcastWakesAll(t *testing.T) {
+	e := New()
+	var s Signal
+	woke := 0
+	for i := 0; i < 4; i++ {
+		e.Go("waiter", func(p *Proc) {
+			p.Wait(&s)
+			woke++
+		})
+	}
+	e.Go("signaller", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		if s.Waiters() != 4 {
+			t.Errorf("Waiters = %d, want 4", s.Waiters())
+		}
+		s.Broadcast(e)
+	})
+	e.Run()
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+}
+
+func TestProcSleepUntilPastIsNoop(t *testing.T) {
+	e := New()
+	e.Go("p", func(p *Proc) {
+		p.Sleep(10 * time.Nanosecond)
+		p.SleepUntil(5 * time.Nanosecond) // already past
+		if p.Now() != 10*time.Nanosecond {
+			t.Errorf("Now = %v, want 10ns", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlocked process did not panic the engine")
+		}
+	}()
+	e := New()
+	var s Signal
+	e.Go("stuck", func(p *Proc) { p.Wait(&s) })
+	e.Run()
+}
+
+func TestPipeSerializesTransfers(t *testing.T) {
+	e := New()
+	p := NewPipe(e, 1) // 1 GB/s = 1 byte per ns
+	d1 := p.Reserve(100)
+	d2 := p.Reserve(50)
+	if d1 != 100*time.Nanosecond {
+		t.Fatalf("first reservation done at %v, want 100ns", d1)
+	}
+	if d2 != 150*time.Nanosecond {
+		t.Fatalf("second reservation done at %v, want 150ns", d2)
+	}
+	if p.Backlog() != 150*time.Nanosecond {
+		t.Fatalf("Backlog = %v, want 150ns", p.Backlog())
+	}
+	if p.BytesMoved() != 150 {
+		t.Fatalf("BytesMoved = %d, want 150", p.BytesMoved())
+	}
+}
+
+func TestPipeIdleGapDoesNotAccumulate(t *testing.T) {
+	e := New()
+	p := NewPipe(e, 2)     // 2 bytes per ns
+	done := p.Reserve(100) // 50ns
+	e.At(done+100*time.Nanosecond, func() {
+		// Pipe has been idle for 100ns; next transfer starts now.
+		if got := p.Reserve(100); got != e.Now()+50*time.Nanosecond {
+			t.Errorf("post-idle reservation done at %v, want %v", got, e.Now()+50*time.Nanosecond)
+		}
+	})
+	e.Run()
+}
+
+func TestTokenPoolParallelism(t *testing.T) {
+	tk := NewToken(2)
+	// Three holds of 100ns each from t=0: first two run in parallel,
+	// third waits for a slot.
+	s1 := tk.Acquire(0, 100)
+	s2 := tk.Acquire(0, 100)
+	s3 := tk.Acquire(0, 100)
+	if s1 != 0 || s2 != 0 {
+		t.Fatalf("first two acquisitions start at %v, %v; want 0,0", s1, s2)
+	}
+	if s3 != 100 {
+		t.Fatalf("third acquisition starts at %v, want 100", s3)
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	var q FIFO[int]
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	if v, _ := q.Peek(); v != 0 {
+		t.Fatalf("Peek = %d, want 0", v)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestRandDeterminismAndRange(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	buf := make([]byte, 33)
+	r.Bytes(buf)
+	zero := 0
+	for _, c := range buf {
+		if c == 0 {
+			zero++
+		}
+	}
+	if zero == len(buf) {
+		t.Fatal("Bytes produced all zeros")
+	}
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperative simulated process. A Proc runs on its own goroutine,
+// but exactly one goroutine (either the engine or a single process) executes
+// at any moment, so models using Procs remain deterministic and data-race
+// free without locking.
+//
+// Inside the process function, call Sleep, Wait, or Yield to give control
+// back to the engine; the process resumes when its wake condition fires.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+}
+
+// Go starts fn as a simulated process at the current virtual time. The name
+// appears in deadlock panics only.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume // first transfer from the engine
+		fn(p)
+		p.done = true
+		p.e.procs--
+		p.parked <- struct{}{}
+	}()
+	e.After(0, p.transfer)
+	return p
+}
+
+// transfer hands control from the engine goroutine to the process and blocks
+// until the process parks again (or finishes).
+func (p *Proc) transfer() {
+	if p.done {
+		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park returns control to the engine and blocks until the next transfer.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Time) {
+	p.e.After(d, p.transfer)
+	p.park()
+}
+
+// SleepUntil suspends the process until virtual instant t (no-op if t has
+// passed).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.e.now {
+		return
+	}
+	p.e.At(t, p.transfer)
+	p.park()
+}
+
+// Yield reschedules the process at the current instant, letting other events
+// with the same timestamp run first.
+func (p *Proc) Yield() {
+	p.e.After(0, p.transfer)
+	p.park()
+}
+
+// Wait parks the process until s is signalled.
+func (p *Proc) Wait(s *Signal) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Signal is a broadcast wake-up point for processes, akin to a condition
+// variable. The zero value is ready to use.
+type Signal struct {
+	waiters []*Proc
+}
+
+// Broadcast wakes every process currently waiting on s. Wake-ups are
+// scheduled at the current instant in wait order.
+func (s *Signal) Broadcast(e *Engine) {
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		e.After(0, p.transfer)
+	}
+}
+
+// Waiters reports how many processes are parked on s.
+func (s *Signal) Waiters() int { return len(s.waiters) }

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: a pipe's cumulative busy time equals bytes moved divided by its
+// rate, and completion times never decrease for FIFO reservations.
+func TestPipeConservationQuick(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		e := New()
+		p := NewPipe(e, 2) // 2 bytes per ns
+		var last Time
+		var total int64
+		for _, s := range sizes {
+			n := int64(s) + 1
+			done := p.Reserve(n)
+			if done < last {
+				return false // completions must be monotone
+			}
+			last = done
+			total += n
+		}
+		if p.BytesMoved() != total {
+			return false
+		}
+		// busy = total / rate
+		want := Time(float64(total) / 2)
+		diff := p.BusyTime() - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= Time(len(sizes)) // rounding slack, 1ns per reservation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeSetRateAffectsFutureOnly(t *testing.T) {
+	e := New()
+	p := NewPipe(e, 1)
+	first := p.Reserve(100) // 100ns at 1 B/ns
+	p.SetRate(10)
+	second := p.Reserve(100) // 10ns at 10 B/ns, queued behind first
+	if first != 100*time.Nanosecond {
+		t.Fatalf("first done at %v", first)
+	}
+	if second != 110*time.Nanosecond {
+		t.Fatalf("second done at %v, want 110ns", second)
+	}
+}
+
+func TestPipeRejectsBadRates(t *testing.T) {
+	e := New()
+	for _, bad := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v accepted", bad)
+				}
+			}()
+			NewPipe(e, bad)
+		}()
+	}
+	p := NewPipe(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRate(0) accepted")
+		}
+	}()
+	p.SetRate(0)
+}
+
+// Property: a token pool never admits more than its size concurrently — at
+// any instant, overlapping holds ≤ pool size.
+func TestTokenConcurrencyBoundQuick(t *testing.T) {
+	f := func(holds []uint8, size uint8) bool {
+		n := int(size%4) + 1
+		tk := NewToken(n)
+		type iv struct{ s, e Time }
+		var ivs []iv
+		for i, h := range holds {
+			hold := Time(h) + 1
+			start := tk.Acquire(Time(i), hold)
+			if start < Time(i) {
+				return false // cannot start before requested
+			}
+			ivs = append(ivs, iv{start, start + hold})
+		}
+		// Check overlap count at every start point.
+		for _, probe := range ivs {
+			overlap := 0
+			for _, o := range ivs {
+				if o.s <= probe.s && probe.s < o.e {
+					overlap++
+				}
+			}
+			if overlap > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveAtFutureStart(t *testing.T) {
+	e := New()
+	p := NewPipe(e, 1)
+	done := p.ReserveAt(500*time.Nanosecond, 100)
+	if done != 600*time.Nanosecond {
+		t.Fatalf("future reservation done at %v, want 600ns", done)
+	}
+	// A subsequent now-reservation queues behind it (FIFO ordering).
+	if got := p.Reserve(10); got != 610*time.Nanosecond {
+		t.Fatalf("queued reservation done at %v, want 610ns", got)
+	}
+}

@@ -1,0 +1,267 @@
+// Package spdknvme reimplements the paper's SPDK NVMe/TCP target case study
+// (Appendix C, Fig 21): a polled-mode storage target serving read I/Os over
+// TCP, optionally generating a CRC32 Data Digest per PDU — computed either
+// with the ISA-L software path on the target cores or offloaded to DSA
+// through SPDK's accel framework. The experiment measures IOPS against the
+// number of target cores for 16 KB random and 128 KB sequential reads.
+package spdknvme
+
+import (
+	"fmt"
+	"time"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dsa"
+	"dsasim/internal/isal"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// DigestMode selects the Data Digest configuration (the three curves of
+// Fig 21).
+type DigestMode int
+
+// Digest modes.
+const (
+	// NoDigest disables the Data Digest field.
+	NoDigest DigestMode = iota
+	// ISAL computes CRC32 on the target core with the optimized software
+	// library.
+	ISAL
+	// DSA offloads CRC32 generation through the accel framework.
+	DSA
+)
+
+// String returns the Fig 21 legend name.
+func (m DigestMode) String() string {
+	switch m {
+	case ISAL:
+		return "ISA-L"
+	case DSA:
+		return "DSA"
+	default:
+		return "No Digest"
+	}
+}
+
+// Config is one benchmark point.
+type Config struct {
+	TargetCores int
+	IOSize      int64
+	Mode        DigestMode
+	IOs         int // total I/Os to serve
+	WQs         []*dsa.WQ
+
+	// NICGBps is the target's network bandwidth (200 GbE ≈ 25 GB/s).
+	NICGBps float64
+	// SSDs and SSDGBps size the backing NVMe array (16 SSDs, Fig 20).
+	SSDs    int
+	SSDGBps float64
+	SSDLat  time.Duration
+
+	// PerIOFixed is the per-I/O TCP+NVMe processing cost on a core, and
+	// PerByteGBps the payload-touching rate of the TCP transmit path.
+	PerIOFixed  time.Duration
+	PerByteGBps float64
+	// AccelSubmit is the per-I/O cost to build and submit an accel-fw
+	// CRC descriptor and reap its completion (DSA mode).
+	AccelSubmit time.Duration
+
+	Seed uint64
+}
+
+// Result is one measured point of Fig 21.
+type Result struct {
+	IOPS       float64
+	GBps       float64
+	AvgLat     time.Duration
+	Verified   int64 // digests recomputed and matched by the initiator
+	Mismatched int64
+}
+
+// applyDefaults fills zero fields with the Fig 20/21 testbed values.
+func (c *Config) applyDefaults() {
+	if c.NICGBps == 0 {
+		c.NICGBps = 25
+	}
+	if c.SSDs == 0 {
+		c.SSDs = 16
+	}
+	if c.SSDGBps == 0 {
+		c.SSDGBps = 3.5
+	}
+	if c.SSDLat == 0 {
+		c.SSDLat = 60 * time.Microsecond
+	}
+	if c.PerIOFixed == 0 {
+		c.PerIOFixed = 2 * time.Microsecond
+	}
+	if c.PerByteGBps == 0 {
+		c.PerByteGBps = 16
+	}
+	if c.AccelSubmit == 0 {
+		c.AccelSubmit = 400 * time.Nanosecond
+	}
+	if c.IOs == 0 {
+		c.IOs = 2000
+	}
+}
+
+// Run executes the benchmark and returns the measured point.
+func Run(e *sim.Engine, sys *mem.System, node *mem.Node, model cpu.Model, cfg Config) (Result, error) {
+	cfg.applyDefaults()
+	if cfg.TargetCores <= 0 {
+		return Result{}, fmt.Errorf("spdknvme: need at least one target core")
+	}
+	if cfg.Mode == DSA && len(cfg.WQs) == 0 {
+		return Result{}, fmt.Errorf("spdknvme: DSA mode needs work queues")
+	}
+
+	nic := sim.NewPipe(e, cfg.NICGBps)
+	ssds := make([]*sim.Pipe, cfg.SSDs)
+	for i := range ssds {
+		ssds[i] = sim.NewPipe(e, cfg.SSDGBps)
+	}
+
+	as := mem.NewAddressSpace(200)
+	for _, wq := range cfg.WQs {
+		wq.Dev.BindPASID(as)
+	}
+
+	perCore := cfg.IOs / cfg.TargetCores
+	rem := cfg.IOs % cfg.TargetCores
+
+	res := Result{}
+	var done sim.Time
+	var totalLat sim.Time
+	var served int64
+	var runErr error
+
+	for c := 0; c < cfg.TargetCores; c++ {
+		c := c
+		n := perCore
+		if c < rem {
+			n++
+		}
+		core := cpu.NewCore(c, 0, sys, as, model)
+		// Rotating payload slots: a slot is not rewritten until its CRC
+		// offload (if any) has completed, so the device reads stable data.
+		const slots = 16
+		payloads := make([]*mem.Buffer, slots)
+		for s := range payloads {
+			payloads[s] = as.Alloc(cfg.IOSize, mem.OnNode(node))
+		}
+		rng := sim.NewRand(cfg.Seed + uint64(c)*31 + 1)
+		var client *dsa.Client
+		if cfg.Mode == DSA {
+			client = dsa.NewClient(cfg.WQs[c%len(cfg.WQs)], core)
+		}
+		e.Go(fmt.Sprintf("target-core%d", c), func(p *sim.Proc) {
+			type inflight struct {
+				comp *dsa.Completion
+				want uint32
+				mark sim.Time
+			}
+			var window []inflight
+			reapOne := func() {
+				io := window[0]
+				window = window[1:]
+				if !io.comp.Done() {
+					io.comp.Wait(p)
+				}
+				rec := io.comp.Record()
+				if uint32(rec.Result) == io.want {
+					res.Verified++
+				} else {
+					res.Mismatched++
+				}
+				if t := io.comp.FinishTime; t > done {
+					done = t
+				}
+				totalLat += io.comp.FinishTime - io.mark
+				served++
+			}
+			for i := 0; i < n; i++ {
+				start := p.Now()
+				if len(window) >= slots {
+					reapOne() // frees the slot this I/O will reuse
+				}
+				payload := payloads[i%slots]
+				// New "disk contents" for this I/O.
+				rng.Bytes(payload.Bytes()[:64])
+				// SSD read (polled, not blocking the core).
+				ssd := ssds[(c+i)%len(ssds)]
+				ssdDone := ssd.Reserve(cfg.IOSize) + cfg.SSDLat
+				// Core-side TCP/NVMe processing.
+				busy := cfg.PerIOFixed + sim.GBps(cfg.IOSize, cfg.PerByteGBps)
+				switch cfg.Mode {
+				case ISAL:
+					crc, dur, err := core.CRC32(payload.Addr(0), cfg.IOSize, 0)
+					if err != nil {
+						runErr = err
+						return
+					}
+					busy += dur
+					if crc == isal.CRC32(0, payload.Bytes()) {
+						res.Verified++
+					} else {
+						res.Mismatched++
+					}
+				case DSA:
+					busy += cfg.AccelSubmit
+				}
+				p.Sleep(busy)
+				core.ChargeBusy(busy)
+				// Response PDU over the NIC.
+				nicDone := nic.Reserve(cfg.IOSize)
+				end := p.Now()
+				if ssdDone > end {
+					end = ssdDone
+				}
+				if nicDone > end {
+					end = nicDone
+				}
+				if cfg.Mode == DSA {
+					comp, err := client.Submit(p, dsa.Descriptor{
+						Op: dsa.OpCRCGen, PASID: as.PASID,
+						Src: payload.Addr(0), Size: cfg.IOSize,
+					})
+					if err != nil {
+						runErr = err
+						return
+					}
+					window = append(window, inflight{
+						comp: comp,
+						want: isal.CRC32(0, payload.Bytes()),
+						mark: start,
+					})
+					if end > done {
+						done = end
+					}
+					continue
+				}
+				if end > done {
+					done = end
+				}
+				totalLat += end - start
+				served++
+			}
+			for len(window) > 0 {
+				reapOne()
+			}
+		})
+	}
+	e.Run()
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	if done > 0 {
+		secs := float64(done) / 1e9
+		res.IOPS = float64(cfg.IOs) / secs
+		res.GBps = float64(cfg.IOSize*int64(cfg.IOs)) / float64(done)
+	}
+	if served > 0 {
+		res.AvgLat = totalLat / sim.Time(served)
+	}
+	return res, nil
+}

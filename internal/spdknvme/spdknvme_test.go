@@ -1,0 +1,119 @@
+package spdknvme
+
+import (
+	"testing"
+	"time"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+func testSystem(e *sim.Engine) *mem.System {
+	return mem.NewSystem(e, mem.SystemConfig{
+		Sockets: 1,
+		LLC:     mem.LLCConfig{Capacity: 105 << 20, Ways: 15, DDIOWays: 2},
+		NodeDefs: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+		},
+	})
+}
+
+func run(t *testing.T, cores int, size int64, mode DigestMode, ios int) Result {
+	t.Helper()
+	e := sim.New()
+	sys := testSystem(e)
+	cfg := Config{TargetCores: cores, IOSize: size, Mode: mode, IOs: ios, Seed: 3}
+	if mode == DSA {
+		dev := dsa.New(e, sys, dsa.DefaultConfig("dsa0", 0))
+		if _, err := dev.AddGroup(dsa.GroupConfig{Engines: 4, WQs: []dsa.WQConfig{{Mode: dsa.Shared, Size: 64}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Enable(); err != nil {
+			t.Fatal(err)
+		}
+		cfg.WQs = dev.WQs()
+	}
+	res, err := Run(e, sys, sys.Node(0), cpu.SPRModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDigestsVerify(t *testing.T) {
+	for _, mode := range []DigestMode{ISAL, DSA} {
+		res := run(t, 2, 16<<10, mode, 300)
+		if res.Mismatched != 0 {
+			t.Fatalf("mode %v: %d digests mismatched", mode, res.Mismatched)
+		}
+		if res.Verified != 300 {
+			t.Fatalf("mode %v: verified %d of 300", mode, res.Verified)
+		}
+	}
+}
+
+func TestIOPSScalesWithCoresUntilNIC(t *testing.T) {
+	// NoDigest 128KB reads: NIC-bound by ~2 cores (Fig 21b).
+	one := run(t, 1, 128<<10, NoDigest, 800)
+	two := run(t, 2, 128<<10, NoDigest, 800)
+	four := run(t, 4, 128<<10, NoDigest, 800)
+	if two.IOPS < 1.5*one.IOPS {
+		t.Fatalf("2 cores (%.0f) should nearly double 1 core (%.0f)", two.IOPS, one.IOPS)
+	}
+	if four.IOPS > 1.35*two.IOPS {
+		t.Fatalf("4 cores (%.0f) should saturate near 2 cores (%.0f) — NIC bound", four.IOPS, two.IOPS)
+	}
+}
+
+func TestISALNeedsMoreCoresThanDSA(t *testing.T) {
+	// Fig 21: at low core counts, ISA-L digests depress IOPS; DSA tracks
+	// NoDigest closely.
+	none := run(t, 2, 128<<10, NoDigest, 600)
+	isal := run(t, 2, 128<<10, ISAL, 600)
+	dsaR := run(t, 2, 128<<10, DSA, 600)
+	if isal.IOPS >= 0.8*none.IOPS {
+		t.Fatalf("ISA-L (%.0f) should be well below NoDigest (%.0f) at 2 cores", isal.IOPS, none.IOPS)
+	}
+	if dsaR.IOPS < 0.85*none.IOPS {
+		t.Fatalf("DSA (%.0f) should track NoDigest (%.0f) at 2 cores", dsaR.IOPS, none.IOPS)
+	}
+	if dsaR.IOPS <= isal.IOPS {
+		t.Fatalf("DSA (%.0f) should beat ISA-L (%.0f)", dsaR.IOPS, isal.IOPS)
+	}
+}
+
+func TestSmallRandomReadsSaturateLater(t *testing.T) {
+	// 16KB random reads need more cores to saturate than 128KB
+	// sequential (Fig 21a vs 21b).
+	sat128 := saturationCores(t, 128<<10)
+	sat16 := saturationCores(t, 16<<10)
+	if sat16 <= sat128 {
+		t.Fatalf("16KB saturates at %d cores, 128KB at %d; want 16KB later", sat16, sat128)
+	}
+}
+
+// saturationCores returns the first core count whose IOPS is within 5% of
+// the 8-core ceiling.
+func saturationCores(t *testing.T, size int64) int {
+	t.Helper()
+	ceiling := run(t, 8, size, NoDigest, 800).IOPS
+	for c := 1; c <= 8; c++ {
+		if run(t, c, size, NoDigest, 800).IOPS >= 0.95*ceiling {
+			return c
+		}
+	}
+	return 9
+}
+
+func TestValidation(t *testing.T) {
+	e := sim.New()
+	sys := testSystem(e)
+	if _, err := Run(e, sys, sys.Node(0), cpu.SPRModel(), Config{TargetCores: 0, IOSize: 4096}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := Run(e, sys, sys.Node(0), cpu.SPRModel(), Config{TargetCores: 1, IOSize: 4096, Mode: DSA}); err == nil {
+		t.Fatal("DSA mode without WQs accepted")
+	}
+}

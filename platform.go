@@ -1,0 +1,220 @@
+// Package dsasim is a simulation-based reproduction of "A Quantitative
+// Analysis and Guidelines of Data Streaming Accelerator in Modern Intel Xeon
+// Scalable Processors" (ASPLOS 2024).
+//
+// The package bundles the building blocks under internal/ into platforms
+// matching the paper's evaluated systems (Table 2): a virtual-time engine,
+// a memory system (NUMA DRAM, CXL, LLC with DDIO), CPU cores running
+// software baselines, and one or more DSA (or CBDMA) device instances. The
+// experiment harness in internal/exp regenerates every figure and table of
+// the paper's evaluation on top of these platforms; cmd/dsa-bench renders
+// them.
+//
+// Quick start:
+//
+//	pl := dsasim.NewPlatform(dsasim.SPR())
+//	ws := pl.NewWorkspace()
+//	pl.Run(func(p *sim.Proc) {
+//	    src := ws.Alloc(1 << 20)
+//	    dst := ws.Alloc(1 << 20)
+//	    res, _ := ws.DML.Copy(p, dst.Addr(0), src.Addr(0), 1<<20, dml.Auto)
+//	    fmt.Println("copied in", res.Duration)
+//	})
+package dsasim
+
+import (
+	"fmt"
+	"time"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dml"
+	"dsasim/internal/dsa"
+	"dsasim/internal/idxd"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// Profile describes a platform generation (Table 2).
+type Profile struct {
+	Name    string
+	Cores   int
+	LLC     mem.LLCConfig
+	UPILat  time.Duration
+	UPIGBps float64
+	Nodes   []mem.NodeConfig
+	CPU     cpu.Model
+	// Devices is the number of DMA devices to create and enable with the
+	// default group configuration (one group, all engines, one 32-entry
+	// dedicated WQ).
+	Devices int
+	// DeviceConfig templates each device (socket/name are overridden).
+	DeviceConfig dsa.Config
+}
+
+// SPR returns the Sapphire Rapids profile: 56 cores, 105 MB LLC, eight DDR5
+// channels, CXL 1.1 support (modelled as a CPU-less NUMA node), and up to
+// four DSA instances (Table 2, Fig 10).
+func SPR() Profile {
+	return Profile{
+		Name:    "SPR",
+		Cores:   56,
+		LLC:     mem.LLCConfig{Capacity: 105 << 20, Ways: 15, DDIOWays: 2},
+		UPILat:  70 * time.Nanosecond,
+		UPIGBps: 62,
+		Nodes: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+			{Socket: 1, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+			{Socket: 0, Kind: mem.CXL, ReadLat: 250 * time.Nanosecond, WriteLat: 400 * time.Nanosecond, ReadGBps: 16, WriteGBps: 10},
+		},
+		CPU:          cpu.SPRModel(),
+		Devices:      1,
+		DeviceConfig: dsa.DefaultConfig("dsa", 0),
+	}
+}
+
+// ICX returns the Ice Lake predecessor profile: 40 cores, 57 MB LLC, six
+// DDR4 channels, and a CBDMA engine instead of DSA (Table 2).
+func ICX() Profile {
+	cfg := dsa.DefaultConfig("cbdma", 0)
+	cfg.Timing = dsa.CBDMATiming()
+	cfg.Engines = 1 // one logical channel used per the paper's methodology
+	return Profile{
+		Name:    "ICX",
+		Cores:   40,
+		LLC:     mem.LLCConfig{Capacity: 57 << 20, Ways: 12, DDIOWays: 2},
+		UPILat:  75 * time.Nanosecond,
+		UPIGBps: 50,
+		Nodes: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 120 * time.Nanosecond, WriteLat: 120 * time.Nanosecond, ReadGBps: 100, WriteGBps: 75},
+			{Socket: 1, Kind: mem.DRAM, ReadLat: 120 * time.Nanosecond, WriteLat: 120 * time.Nanosecond, ReadGBps: 100, WriteGBps: 75},
+		},
+		CPU:          cpu.ICXModel(),
+		Devices:      1,
+		DeviceConfig: cfg,
+	}
+}
+
+// Platform is a constructed system ready to run workloads.
+type Platform struct {
+	Profile  Profile
+	E        *sim.Engine
+	Sys      *mem.System
+	Registry *idxd.Registry
+	Devices  []*dsa.Device
+
+	nextPASID int
+	nextCore  int
+}
+
+// NewPlatform builds and enables a platform from profile.
+func NewPlatform(pr Profile) *Platform {
+	e := sim.New()
+	sys := mem.NewSystem(e, mem.SystemConfig{
+		Sockets:  2,
+		LLC:      pr.LLC,
+		UPILat:   pr.UPILat,
+		UPIGBps:  pr.UPIGBps,
+		NodeDefs: pr.Nodes,
+	})
+	pl := &Platform{
+		Profile:   pr,
+		E:         e,
+		Sys:       sys,
+		Registry:  idxd.NewRegistry(e, sys),
+		nextPASID: 1,
+	}
+	for i := 0; i < pr.Devices; i++ {
+		cfg := pr.DeviceConfig
+		cfg.Name = fmt.Sprintf("%s%d", pr.DeviceConfig.Name, i)
+		dev := dsa.New(e, sys, cfg)
+		ent, err := pl.Registry.Adopt(dev)
+		if err != nil {
+			panic(err)
+		}
+		spec := idxd.DeviceSpec{
+			Name: cfg.Name,
+			Groups: []idxd.GroupSpec{{
+				Engines: cfg.Engines,
+				WQs:     []idxd.WQSpec{{Mode: "dedicated", Size: 32}},
+			}},
+		}
+		if err := pl.Registry.Configure(spec); err != nil {
+			panic(err)
+		}
+		if err := pl.Registry.Enable(cfg.Name); err != nil {
+			panic(err)
+		}
+		pl.Devices = append(pl.Devices, ent.Dev)
+	}
+	return pl
+}
+
+// AddDevice creates, configures, and enables an additional device with a
+// custom group layout, returning it.
+func (pl *Platform) AddDevice(name string, socket int, groups ...dsa.GroupConfig) (*dsa.Device, error) {
+	cfg := pl.Profile.DeviceConfig
+	cfg.Name = name
+	cfg.Socket = socket
+	dev := dsa.New(pl.E, pl.Sys, cfg)
+	for _, g := range groups {
+		if _, err := dev.AddGroup(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := dev.Enable(); err != nil {
+		return nil, err
+	}
+	if _, err := pl.Registry.Adopt(dev); err != nil {
+		return nil, err
+	}
+	pl.Devices = append(pl.Devices, dev)
+	return dev, nil
+}
+
+// Node returns platform memory node id (0 = socket-0 DRAM, 1 = socket-1
+// DRAM, 2 = CXL on SPR).
+func (pl *Platform) Node(id int) *mem.Node { return pl.Sys.Node(id) }
+
+// Workspace is one process's execution context: an address space bound to
+// the platform devices, a core, and a DML executor.
+type Workspace struct {
+	Platform *Platform
+	AS       *mem.AddressSpace
+	Core     *cpu.Core
+	DML      *dml.Executor
+}
+
+// NewWorkspace creates a process context on socket 0 bound to every device.
+func (pl *Platform) NewWorkspace(opts ...dml.Option) *Workspace {
+	return pl.NewWorkspaceOn(0, opts...)
+}
+
+// NewWorkspaceOn creates a process context on the given socket.
+func (pl *Platform) NewWorkspaceOn(socket int, opts ...dml.Option) *Workspace {
+	as := mem.NewAddressSpace(pl.nextPASID)
+	pl.nextPASID++
+	core := cpu.NewCore(pl.nextCore, socket, pl.Sys, as, pl.Profile.CPU)
+	pl.nextCore++
+	var wqs []*dsa.WQ
+	for _, dev := range pl.Devices {
+		wqs = append(wqs, dev.WQs()...)
+	}
+	x, err := dml.New(as, core, wqs, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return &Workspace{Platform: pl, AS: as, Core: core, DML: x}
+}
+
+// Alloc allocates a buffer on the workspace's local DRAM node.
+func (w *Workspace) Alloc(size int64, opts ...mem.AllocOption) *mem.Buffer {
+	node := w.Platform.Sys.SocketOf(w.Core.Socket).Nodes[0]
+	opts = append([]mem.AllocOption{mem.OnNode(node)}, opts...)
+	return w.AS.Alloc(size, opts...)
+}
+
+// Run starts fn as a simulated process and runs the engine to completion.
+func (pl *Platform) Run(fn func(p *sim.Proc)) {
+	pl.E.Go("main", fn)
+	pl.E.Run()
+}

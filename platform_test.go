@@ -1,0 +1,99 @@
+package dsasim
+
+import (
+	"bytes"
+	"testing"
+
+	"dsasim/internal/dml"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+func TestSPRPlatformBasics(t *testing.T) {
+	pl := NewPlatform(SPR())
+	if len(pl.Devices) != 1 {
+		t.Fatalf("devices = %d, want 1", len(pl.Devices))
+	}
+	if !pl.Devices[0].Enabled() {
+		t.Fatal("device not enabled")
+	}
+	if pl.Node(2).Kind != mem.CXL {
+		t.Fatal("SPR profile missing CXL node")
+	}
+	ws := pl.NewWorkspace()
+	src := ws.Alloc(1 << 20)
+	dst := ws.Alloc(1 << 20)
+	sim.NewRand(1).Bytes(src.Bytes())
+	pl.Run(func(p *sim.Proc) {
+		res, err := ws.DML.Copy(p, dst.Addr(0), src.Addr(0), 1<<20, dml.Auto)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !res.Hardware {
+			t.Error("1MB copy should take the hardware path")
+		}
+	})
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("platform copy incomplete")
+	}
+}
+
+func TestICXPlatformUsesCBDMA(t *testing.T) {
+	pl := NewPlatform(ICX())
+	if pl.Devices[0].Cfg.Engines != 1 {
+		t.Fatalf("ICX CBDMA engines = %d, want 1", pl.Devices[0].Cfg.Engines)
+	}
+	if got := pl.Devices[0].Cfg.Timing.FabricGBps; got >= dsa.DefaultTiming().FabricGBps {
+		t.Fatalf("CBDMA fabric %v should be below DSA's", got)
+	}
+	ws := pl.NewWorkspace()
+	src := ws.Alloc(64 << 10)
+	dst := ws.Alloc(64 << 10)
+	pl.Run(func(p *sim.Proc) {
+		if _, err := ws.DML.Copy(p, dst.Addr(0), src.Addr(0), 64<<10, dml.Hardware); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestAddDeviceCustomGroups(t *testing.T) {
+	pl := NewPlatform(SPR())
+	dev, err := pl.AddDevice("dsa-extra", 0, dsa.GroupConfig{
+		Engines: 2,
+		WQs:     []dsa.WQConfig{{Mode: dsa.Shared, Size: 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.WQs()) != 1 || dev.WQs()[0].Mode != dsa.Shared {
+		t.Fatal("custom group not applied")
+	}
+	if len(pl.Devices) != 2 {
+		t.Fatalf("devices = %d, want 2", len(pl.Devices))
+	}
+}
+
+func TestWorkspacesAreIsolated(t *testing.T) {
+	pl := NewPlatform(SPR())
+	w1 := pl.NewWorkspace()
+	w2 := pl.NewWorkspace()
+	if w1.AS.PASID == w2.AS.PASID {
+		t.Fatal("workspaces share a PASID")
+	}
+	b1 := w1.Alloc(4096)
+	// w2 must not resolve w1's addresses.
+	if _, _, err := w2.AS.Lookup(b1.Addr(0)); err == nil {
+		t.Fatal("cross-workspace address resolved")
+	}
+}
+
+func TestMultiSocketWorkspace(t *testing.T) {
+	pl := NewPlatform(SPR())
+	ws := pl.NewWorkspaceOn(1)
+	buf := ws.Alloc(4096)
+	if buf.Node.Socket != 1 {
+		t.Fatalf("socket-1 workspace allocated on socket %d", buf.Node.Socket)
+	}
+}
