@@ -64,6 +64,7 @@ func BenchmarkFig17bOSU(b *testing.B)            { benchExperiment(b, "fig17b", 
 func BenchmarkFig18BERT(b *testing.B)            { benchExperiment(b, "fig18", "sec_max") }
 func BenchmarkFig19CacheLib(b *testing.B)        { benchExperiment(b, "fig19", "rel_max") }
 func BenchmarkFig21SPDK(b *testing.B)            { benchExperiment(b, "fig21", "rel_max") }
+func BenchmarkSchedComparison(b *testing.B)      { benchExperiment(b, "sched", "GBps_max") }
 
 // Device micro-benchmarks: virtual-time throughput of the model itself.
 // b.SetBytes reflects simulated payload per iteration, so MB/s measures

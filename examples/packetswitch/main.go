@@ -16,13 +16,15 @@ import (
 
 func forwardingRate(mode vhost.Mode, pktSize int64) (float64, bool) {
 	pl := dsasim.NewPlatform(dsasim.SPR())
-	ws := pl.NewWorkspace()
-	vq := vhost.NewVirtqueue(ws.AS, pl.Node(0), 256, 2048)
+	tn := pl.NewTenant()
+	vq := vhost.NewVirtqueue(tn.AS, pl.Node(0), 256, 2048)
 	var wq *dsa.WQ
 	if mode == vhost.DSACopy {
-		wq = pl.Devices[0].WQs()[0]
+		// The backend drives one queue directly; take the scheduler's pick
+		// for this tenant's socket.
+		wq = pl.Offload.Scheduler().Pick(tn.Core.Socket, pl.Offload.WQs())
 	}
-	backend, err := vhost.NewBackend(mode, vq, ws.Core, ws.AS, wq)
+	backend, err := vhost.NewBackend(mode, vq, tn.Core, tn.AS, wq)
 	if err != nil {
 		panic(err)
 	}

@@ -1,15 +1,17 @@
 // Tieredmem: guideline G4 in practice — a tiered-memory manager demoting
 // cold pages from DRAM to CXL-attached memory and promoting hot ones back,
 // comparing core-driven page migration (load/store copies that saturate the
-// LSQ on CXL, §5) against DSA batch offload with block-on-fault.
+// LSQ on CXL, §5) against DSA batch offload through the offload service.
+// Tier placement uses the tenant allocator's node selection (AllocOn), so
+// the migrator never touches the platform memory system directly.
 package main
 
 import (
 	"fmt"
 
 	"dsasim"
-	"dsasim/internal/dml"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -21,13 +23,13 @@ const (
 // migrate moves n pages between tiers and returns the total virtual time.
 func migrate(useDSA bool, srcNode, dstNode int) sim.Time {
 	pl := dsasim.NewPlatform(dsasim.SPR())
-	ws := pl.NewWorkspace()
+	tn := pl.NewTenant()
 
 	src := make([]*mem.Buffer, pages)
 	dst := make([]*mem.Buffer, pages)
 	for i := range src {
-		src[i] = ws.AS.Alloc(pageSize, mem.OnNode(pl.Node(srcNode)), mem.WithPageSize(mem.Page2M))
-		dst[i] = ws.AS.Alloc(pageSize, mem.OnNode(pl.Node(dstNode)), mem.WithPageSize(mem.Page2M))
+		src[i] = tn.AllocOn(srcNode, pageSize, mem.WithPageSize(mem.Page2M))
+		dst[i] = tn.AllocOn(dstNode, pageSize, mem.WithPageSize(mem.Page2M))
 		sim.NewRand(uint64(i)).Bytes(src[i].Bytes()[:64])
 	}
 
@@ -37,32 +39,36 @@ func migrate(useDSA bool, srcNode, dstNode int) sim.Time {
 		if useDSA {
 			// Batch 32 page copies per batch descriptor, pipelined (G1+G2).
 			const batch = 32
-			var jobs []*dml.Job
+			var futs []*offload.Future
 			for base := 0; base < pages; base += batch {
-				b := ws.DML.NewBatch()
+				b := tn.NewBatch()
 				for i := base; i < base+batch && i < pages; i++ {
 					b.Copy(dst[i].Addr(0), src[i].Addr(0), pageSize)
 				}
-				j, err := b.Submit(p)
+				f, err := b.Submit(p)
 				if err != nil {
 					panic(err)
 				}
-				jobs = append(jobs, j)
-				if len(jobs) > 4 {
-					if _, err := jobs[0].Wait(p); err != nil {
+				futs = append(futs, f)
+				if len(futs) > 4 {
+					if _, err := futs[0].Wait(p, offload.Poll); err != nil {
 						panic(err)
 					}
-					jobs = jobs[1:]
+					futs = futs[1:]
 				}
 			}
-			for _, j := range jobs {
-				if _, err := j.Wait(p); err != nil {
+			for _, f := range futs {
+				if _, err := f.Wait(p, offload.Poll); err != nil {
 					panic(err)
 				}
 			}
 		} else {
 			for i := range src {
-				if _, err := ws.DML.Copy(p, dst[i].Addr(0), src[i].Addr(0), pageSize, dml.Software); err != nil {
+				f, err := tn.Copy(p, dst[i].Addr(0), src[i].Addr(0), pageSize, offload.On(offload.Software))
+				if err != nil {
+					panic(err)
+				}
+				if _, err := f.Wait(p, offload.Poll); err != nil {
 					panic(err)
 				}
 			}

@@ -1,0 +1,3 @@
+module dsasim
+
+go 1.22

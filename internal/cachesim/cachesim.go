@@ -16,10 +16,10 @@ import (
 	"time"
 
 	"dsasim/internal/cpu"
-	"dsasim/internal/dml"
 	"dsasim/internal/dsa"
 	"dsasim/internal/dto"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -193,6 +193,17 @@ func Run(e *sim.Engine, sys *mem.System, node *mem.Node, model cpu.Model, cfg Co
 	as := mem.NewAddressSpace(100)
 	cache := NewCache(as, node, cfg.CacheSize)
 
+	// One offload service fronts the shared WQs for every thread; each
+	// thread is a tenant sharing the process address space.
+	var svc *offload.Service
+	if len(cfg.WQs) > 0 {
+		var err error
+		svc, err = offload.NewService(e, sys, cfg.WQs, offload.WithCPUModel(model))
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
 	// Oversubscription: s threads time-share h cores; CPU time inflates
 	// by s/h when s > h. DSA wait time does not (the device runs
 	// regardless of core scheduling).
@@ -211,12 +222,12 @@ func Run(e *sim.Engine, sys *mem.System, node *mem.Node, model cpu.Model, cfg Co
 		th := th
 		core := cpu.NewCore(th, 0, sys, as, model)
 		var inter *dto.Interposer
-		if len(cfg.WQs) > 0 {
-			x, err := dml.New(as, core, cfg.WQs)
+		if svc != nil {
+			tn, err := svc.NewTenant(offload.SharedSpace(as), offload.OnCore(core))
 			if err != nil {
 				return Result{}, err
 			}
-			inter = dto.New(x)
+			inter = dto.New(tn)
 		}
 		scratch := as.Alloc(144<<10, mem.OnNode(node))
 		sizes := NewSizeGen(cfg.Seed + uint64(th)*7919)

@@ -1,90 +1,74 @@
 package dml
 
 import (
-	"fmt"
-
 	"dsasim/internal/dif"
-	"dsasim/internal/dsa"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
 // Batch accumulates work descriptors for a single batch submission (§3.4
-// F2, guideline G1: batch small transfers, coalesce contiguous ones).
+// F2, guideline G1). It wraps offload.Batch to return legacy Jobs.
 type Batch struct {
-	x     *Executor
-	descs []dsa.Descriptor
+	x *Executor
+	b *offload.Batch
 }
 
 // NewBatch starts an empty batch.
-func (x *Executor) NewBatch() *Batch { return &Batch{x: x} }
+func (x *Executor) NewBatch() *Batch { return &Batch{x: x, b: x.T.NewBatch()} }
 
 // Len returns the number of queued descriptors.
-func (b *Batch) Len() int { return len(b.descs) }
+func (b *Batch) Len() int { return b.b.Len() }
 
 // Copy appends a copy operation.
 func (b *Batch) Copy(dst, src mem.Addr, n int64) *Batch {
-	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpMemmove, Src: src, Dst: dst, Size: n})
+	b.b.Copy(dst, src, n)
 	return b
 }
 
 // Fill appends a pattern-fill operation.
 func (b *Batch) Fill(dst mem.Addr, n int64, pattern uint64) *Batch {
-	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpFill, Dst: dst, Size: n, Pattern: pattern})
+	b.b.Fill(dst, n, pattern)
 	return b
 }
 
 // Compare appends a compare operation.
 func (b *Batch) Compare(x, y mem.Addr, n int64) *Batch {
-	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpCompare, Src: x, Src2: y, Size: n})
+	b.b.Compare(x, y, n)
 	return b
 }
 
 // CRC32 appends a CRC generation operation.
 func (b *Batch) CRC32(src mem.Addr, n int64, seed uint32) *Batch {
-	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpCRCGen, Src: src, Size: n, CRCSeed: seed})
+	b.b.CRC32(src, n, seed)
 	return b
 }
 
 // Dualcast appends a dualcast operation.
 func (b *Batch) Dualcast(dst1, dst2, src mem.Addr, n int64) *Batch {
-	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpDualcast, Src: src, Dst: dst1, Dst2: dst2, Size: n})
+	b.b.Dualcast(dst1, dst2, src, n)
 	return b
 }
 
 // DIFInsert appends a DIF insert operation.
 func (b *Batch) DIFInsert(dst, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags) *Batch {
-	b.descs = append(b.descs, dsa.Descriptor{
-		Op: dsa.OpDIFInsert, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: tags,
-	})
+	b.b.DIFInsert(dst, src, n, bs, tags)
 	return b
 }
 
 // Fence appends a fence: descriptors after it wait for all before it.
 func (b *Batch) Fence() *Batch {
-	if n := len(b.descs); n > 0 {
-		// The fence flag lives on the first descriptor after the barrier;
-		// mark the next appended descriptor. Record a placeholder via a
-		// deferred flag on append: simplest is to set the flag on a Nop.
-		b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpNop, Flags: dsa.FlagFence})
-	}
+	b.b.Fence()
 	return b
 }
 
 // Submit sends the batch to the next work queue and returns the in-flight
-// job. A batch needs at least two descriptors (device rule); single-entry
-// batches are submitted as plain descriptors.
+// job, applying the executor's descriptor flags as the legacy submit path
+// did.
 func (b *Batch) Submit(p *sim.Proc) (*Job, error) {
-	switch len(b.descs) {
-	case 0:
-		return nil, fmt.Errorf("dml: empty batch")
-	case 1:
-		b.x.stats.Batches++
-		return b.x.submitAsync(p, b.descs[0])
-	default:
-		b.x.stats.Batches++
-		descs := b.descs
-		b.descs = nil
-		return b.x.submitAsync(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs})
+	f, err := b.b.WithFlags(b.x.Flags).Submit(p)
+	if err != nil {
+		return nil, err
 	}
+	return &Job{x: b.x, f: f}, nil
 }

@@ -1,10 +1,10 @@
-// Package dml is the high-level data-mover library of the model, mirroring
-// Intel DML (§5 "Software libraries for DSA"): typed operations over shared
-// virtual memory that transparently execute on DSA hardware or on the CPU,
-// with synchronous and asynchronous forms, batch construction, load
-// balancing across work queues/devices, and an automatic size threshold
-// implementing guideline G2 ("use DSA asynchronously when possible; below
-// ~4 KB prefer the core").
+// Package dml is the legacy high-level data-mover interface, kept as a
+// thin compatibility shim over internal/offload (the unified submission
+// surface). New code should use offload.Service / offload.Tenant directly;
+// this package preserves the original per-thread Executor API — typed
+// operations with an explicit Path argument, synchronous results, and Jobs
+// for async offloads — by delegating every operation to an offload.Tenant
+// with a private single-tenant Service.
 package dml
 
 import (
@@ -14,6 +14,7 @@ import (
 	"dsasim/internal/dif"
 	"dsasim/internal/dsa"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -31,31 +32,26 @@ const (
 	Software
 )
 
-// Stats counts executor activity.
-type Stats struct {
-	HWOps    int64
-	SWOps    int64
-	HWBytes  int64
-	SWBytes  int64
-	Batches  int64
-	Failures int64
-}
+// Stats counts executor activity (offload.Stats re-exported: HWOps, SWOps,
+// HWBytes, SWBytes, Batches, Failures).
+type Stats = offload.Stats
 
-// Executor issues data-mover operations. Create one per thread (it is a
-// simulation-domain object; the underlying device handles cross-client
-// concurrency).
+// Result is the outcome of one operation (offload.Result re-exported).
+type Result = offload.Result
+
+// Executor issues data-mover operations. Create one per thread. It is a
+// compatibility wrapper: routing policy (Threshold, DefPath) stays here so
+// existing call sites behave identically, while submission, scheduling,
+// and completion run through the wrapped offload.Tenant.
 type Executor struct {
 	AS   *mem.AddressSpace
 	Core *cpu.Core
+	T    *offload.Tenant
 
-	clients   []*dsa.Client
-	rr        int
 	Threshold int64
 	WaitMode  dsa.WaitMode
 	DefPath   Path
 	Flags     dsa.Flags // extra descriptor flags (e.g. cache control, block-on-fault)
-
-	stats Stats
 }
 
 // Option customizes an Executor.
@@ -74,363 +70,171 @@ func WithPath(p Path) Option { return func(x *Executor) { x.DefPath = p } }
 func WithFlags(f dsa.Flags) Option { return func(x *Executor) { x.Flags = f } }
 
 // New builds an executor over the given WQs (from idxd.Registry.EnabledWQs
-// or direct device configuration). core provides the software path and
-// submission-cost accounting; it must run on the same address space.
+// or direct device configuration), backed by a private round-robin offload
+// service — the legacy load-balancing behavior. core provides the software
+// path and submission-cost accounting; it must run on the same address
+// space.
 func New(as *mem.AddressSpace, core *cpu.Core, wqs []*dsa.WQ, opts ...Option) (*Executor, error) {
 	if len(wqs) == 0 {
 		return nil, fmt.Errorf("dml: no work queues")
 	}
+	svc, err := offload.NewService(wqs[0].Dev.E, wqs[0].Dev.Sys, wqs)
+	if err != nil {
+		return nil, err
+	}
+	tn, err := svc.NewTenant(offload.SharedSpace(as), offload.OnCore(core))
+	if err != nil {
+		return nil, err
+	}
+	return FromTenant(tn, opts...), nil
+}
+
+// FromTenant wraps an existing offload tenant in the legacy Executor API.
+func FromTenant(tn *offload.Tenant, opts ...Option) *Executor {
 	x := &Executor{
-		AS:        as,
-		Core:      core,
+		AS:        tn.AS,
+		Core:      tn.Core,
+		T:         tn,
 		Threshold: 4096,
 		WaitMode:  dsa.Poll,
-	}
-	for _, wq := range wqs {
-		wq.Dev.BindPASID(as)
-		x.clients = append(x.clients, dsa.NewClient(wq, core))
 	}
 	for _, o := range opts {
 		o(x)
 	}
-	return x, nil
+	return x
 }
 
 // Stats returns a copy of the executor counters.
-func (x *Executor) Stats() Stats { return x.stats }
+func (x *Executor) Stats() Stats { return x.T.Stats() }
 
-// next returns the next client round-robin (device/WQ load balancing).
-func (x *Executor) next() *dsa.Client {
-	c := x.clients[x.rr%len(x.clients)]
-	x.rr++
-	return c
-}
-
-// useHW decides the path for an n-byte operation.
-func (x *Executor) useHW(path Path, n int64) bool {
+// force resolves the legacy (path, size) routing into a forced offload
+// path, keeping the executor's mutable Threshold/DefPath semantics.
+func (x *Executor) force(path Path, n int64) offload.OpOption {
+	hw := false
 	switch path {
 	case Hardware:
-		return true
+		hw = true
 	case Software:
-		return false
 	default:
-		if x.DefPath == Hardware {
-			return true
+		switch x.DefPath {
+		case Hardware:
+			hw = true
+		case Software:
+		default:
+			hw = n >= x.Threshold
 		}
-		if x.DefPath == Software {
-			return false
-		}
-		return n >= x.Threshold
 	}
-}
-
-// Result is the outcome of one operation.
-type Result struct {
-	Record   dsa.CompletionRecord // hardware-path completion record
-	CRC      uint32               // CRC32 / CopyCRC result
-	Mismatch bool                 // Compare / ComparePattern mismatch
-	Offset   int64                // first mismatch offset
-	Size     int64                // delta-record bytes used
-	Hardware bool                 // executed on DSA
-	Duration sim.Time             // operation latency observed by the caller
+	if hw {
+		return offload.On(offload.Hardware)
+	}
+	return offload.On(offload.Software)
 }
 
 // Job is an in-flight asynchronous hardware operation.
 type Job struct {
-	x     *Executor
-	comp  *dsa.Completion
-	sw    *Result // set when the op ran synchronously on the CPU instead
-	start sim.Time
-	op    dsa.OpType
+	x *Executor
+	f *offload.Future
 }
 
 // Wait blocks until the job finishes and returns its result.
-func (j *Job) Wait(p *sim.Proc) (Result, error) {
-	if j.sw != nil {
-		return *j.sw, nil
-	}
-	cl := j.x.clients[0]
-	cl.Wait(p, j.comp, j.x.WaitMode)
-	return j.x.resultFrom(j.op, j.comp, p.Now()-j.start)
-}
+func (j *Job) Wait(p *sim.Proc) (Result, error) { return j.f.Wait(p, j.x.WaitMode) }
 
-// Done reports whether the job has completed (software jobs are immediate).
-func (j *Job) Done() bool { return j.sw != nil || j.comp.Done() }
+// Done reports whether the job has completed.
+func (j *Job) Done() bool { return j.f.Done() }
 
-func (x *Executor) resultFrom(op dsa.OpType, comp *dsa.Completion, dur sim.Time) (Result, error) {
-	rec := comp.Record()
-	res := Result{Record: rec, Hardware: true, Duration: dur}
-	switch rec.Status {
-	case dsa.StatusSuccess:
-	case dsa.StatusRecordFull:
-		x.stats.Failures++
-		return res, fmt.Errorf("dml: delta record overflow")
-	case dsa.StatusDIFError:
-		x.stats.Failures++
-		return res, fmt.Errorf("dml: DIF check failed at block %d: %w", rec.Result, rec.Err)
-	default:
-		x.stats.Failures++
-		return res, fmt.Errorf("dml: %v: %w", rec.Status, rec.Err)
-	}
-	switch op {
-	case dsa.OpCRCGen, dsa.OpCopyCRC:
-		res.CRC = uint32(rec.Result)
-	case dsa.OpCompare, dsa.OpComparePattern:
-		res.Mismatch = rec.Mismatch
-		res.Offset = int64(rec.Result)
-	case dsa.OpCreateDelta:
-		res.Size = int64(rec.Result)
-	}
-	return res, nil
-}
-
-// submitAsync prepares and submits d on the next client.
-func (x *Executor) submitAsync(p *sim.Proc, d dsa.Descriptor) (*Job, error) {
-	cl := x.next()
-	d.PASID = x.AS.PASID
-	d.Flags |= x.Flags
-	cl.Prepare(p)
-	start := p.Now()
-	comp, err := cl.Submit(p, d)
-	if err != nil {
-		x.stats.Failures++
-		return nil, err
-	}
-	x.stats.HWOps++
-	x.stats.HWBytes += d.Size
-	return &Job{x: x, comp: comp, start: start, op: d.Op}, nil
-}
-
-// runSync submits d and waits for completion.
-func (x *Executor) runSync(p *sim.Proc, d dsa.Descriptor) (Result, error) {
-	j, err := x.submitAsync(p, d)
-	if err != nil {
+// runSync executes op and waits for the result. An error accompanied by a
+// resolved future (the software DIF-check path) still yields the future's
+// result, preserving the legacy Duration-on-error behavior.
+func (x *Executor) runSync(p *sim.Proc, f *offload.Future, err error) (Result, error) {
+	if f == nil {
 		return Result{}, err
 	}
-	return j.Wait(p)
+	return f.Wait(p, x.WaitMode)
 }
 
 // Copy moves n bytes from src to dst (sync; path per the executor policy).
 func (x *Executor) Copy(p *sim.Proc, dst, src mem.Addr, n int64, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{Op: dsa.OpMemmove, Src: src, Dst: dst, Size: n})
-	}
-	start := p.Now()
-	dur, err := x.Core.Memcpy(dst, src, n)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.Copy(p, dst, src, n, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // CopyAsync starts an asynchronous copy on the hardware path.
 func (x *Executor) CopyAsync(p *sim.Proc, dst, src mem.Addr, n int64) (*Job, error) {
-	return x.submitAsync(p, dsa.Descriptor{Op: dsa.OpMemmove, Src: src, Dst: dst, Size: n})
+	f, err := x.T.Copy(p, dst, src, n, offload.On(offload.Hardware), offload.OpFlags(x.Flags))
+	if err != nil {
+		return nil, err
+	}
+	return &Job{x: x, f: f}, nil
 }
 
 // Fill writes the repeating 8-byte pattern over n bytes at dst.
 func (x *Executor) Fill(p *sim.Proc, dst mem.Addr, n int64, pattern uint64, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{Op: dsa.OpFill, Dst: dst, Size: n, Pattern: pattern})
-	}
-	start := p.Now()
-	dur, err := x.Core.Memset(dst, n, pattern)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.Fill(p, dst, n, pattern, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // Compare checks n bytes at a and b for equality.
 func (x *Executor) Compare(p *sim.Proc, a, b mem.Addr, n int64, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{Op: dsa.OpCompare, Src: a, Src2: b, Size: n})
-	}
-	start := p.Now()
-	off, eq, dur, err := x.Core.Memcmp(a, b, n)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Mismatch: !eq, Offset: off, Duration: p.Now() - start}, nil
+	f, err := x.T.Compare(p, a, b, n, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // ComparePattern checks n bytes at src against the repeating pattern.
 func (x *Executor) ComparePattern(p *sim.Proc, src mem.Addr, n int64, pattern uint64, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{Op: dsa.OpComparePattern, Src: src, Size: n, Pattern: pattern})
-	}
-	start := p.Now()
-	off, eq, dur, err := x.Core.ComparePattern(src, n, pattern)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Mismatch: !eq, Offset: off, Duration: p.Now() - start}, nil
+	f, err := x.T.ComparePattern(p, src, n, pattern, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // CRC32 computes the seeded CRC-32 of n bytes at src.
 func (x *Executor) CRC32(p *sim.Proc, src mem.Addr, n int64, seed uint32, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{Op: dsa.OpCRCGen, Src: src, Size: n, CRCSeed: seed})
-	}
-	start := p.Now()
-	crc, dur, err := x.Core.CRC32(src, n, seed)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{CRC: crc, Duration: p.Now() - start}, nil
+	f, err := x.T.CRC32(p, src, n, seed, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // CopyCRC copies n bytes and returns the CRC-32 of the data.
 func (x *Executor) CopyCRC(p *sim.Proc, dst, src mem.Addr, n int64, seed uint32, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{Op: dsa.OpCopyCRC, Src: src, Dst: dst, Size: n, CRCSeed: seed})
-	}
-	start := p.Now()
-	crc, dur, err := x.Core.CopyCRC(dst, src, n, seed)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{CRC: crc, Duration: p.Now() - start}, nil
+	f, err := x.T.CopyCRC(p, dst, src, n, seed, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // Dualcast copies n bytes from src to both destinations.
 func (x *Executor) Dualcast(p *sim.Proc, dst1, dst2, src mem.Addr, n int64, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{Op: dsa.OpDualcast, Src: src, Dst: dst1, Dst2: dst2, Size: n})
-	}
-	start := p.Now()
-	dur, err := x.Core.Dualcast(dst1, dst2, src, n)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.Dualcast(p, dst1, dst2, src, n, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // CreateDelta writes a delta record of orig→mod differences into record.
 func (x *Executor) CreateDelta(p *sim.Proc, record, orig, mod mem.Addr, n, maxRecord int64, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{
-			Op: dsa.OpCreateDelta, Src: orig, Src2: mod, Dst: record, Size: n, MaxDst: maxRecord,
-		})
-	}
-	start := p.Now()
-	used, dur, err := x.Core.DeltaCreate(record, orig, mod, n, maxRecord)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += 2 * n
-	return Result{Size: used, Duration: p.Now() - start}, nil
+	f, err := x.T.CreateDelta(p, record, orig, mod, n, maxRecord, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // ApplyDelta replays a recordLen-byte delta record onto dst (dstLen bytes).
 func (x *Executor) ApplyDelta(p *sim.Proc, dst, record mem.Addr, recordLen, dstLen int64, path Path) (Result, error) {
-	if x.useHW(path, recordLen) {
-		return x.runSync(p, dsa.Descriptor{
-			Op: dsa.OpApplyDelta, Src: record, Dst: dst, Size: recordLen, MaxDst: dstLen,
-		})
-	}
-	start := p.Now()
-	dur, err := x.Core.DeltaApply(dst, record, recordLen, dstLen)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += recordLen
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.ApplyDelta(p, dst, record, recordLen, dstLen, x.force(path, recordLen), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // DIFInsert generates protected blocks from n raw bytes at src.
 func (x *Executor) DIFInsert(p *sim.Proc, dst, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{
-			Op: dsa.OpDIFInsert, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: tags,
-		})
-	}
-	start := p.Now()
-	dur, err := x.Core.DIFInsert(dst, src, n, bs, tags)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.DIFInsert(p, dst, src, n, bs, tags, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // DIFCheck verifies n protected bytes at src.
 func (x *Executor) DIFCheck(p *sim.Proc, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{
-			Op: dsa.OpDIFCheck, Src: src, Size: n, DIFBlock: bs, DIFTags: tags,
-		})
-	}
-	start := p.Now()
-	dur, err := x.Core.DIFCheck(src, n, bs, tags)
-	if err != nil {
-		return Result{Duration: dur}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.DIFCheck(p, src, n, bs, tags, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // DIFStrip verifies and removes protection information.
 func (x *Executor) DIFStrip(p *sim.Proc, dst, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{
-			Op: dsa.OpDIFStrip, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: tags,
-		})
-	}
-	start := p.Now()
-	dur, err := x.Core.DIFStrip(dst, src, n, bs, tags)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.DIFStrip(p, dst, src, n, bs, tags, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }
 
 // DIFUpdate rewrites protection information from old to new tags.
 func (x *Executor) DIFUpdate(p *sim.Proc, dst, src mem.Addr, n int64, bs dif.BlockSize, old, new dif.Tags, path Path) (Result, error) {
-	if x.useHW(path, n) {
-		return x.runSync(p, dsa.Descriptor{
-			Op: dsa.OpDIFUpdate, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: old, DIFTags2: new,
-		})
-	}
-	start := p.Now()
-	dur, err := x.Core.DIFUpdate(dst, src, n, bs, old, new)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Sleep(dur)
-	x.stats.SWOps++
-	x.stats.SWBytes += n
-	return Result{Duration: p.Now() - start}, nil
+	f, err := x.T.DIFUpdate(p, dst, src, n, bs, old, new, x.force(path, n), offload.OpFlags(x.Flags))
+	return x.runSync(p, f, err)
 }

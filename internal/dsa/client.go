@@ -1,6 +1,8 @@
 package dsa
 
 import (
+	"fmt"
+
 	"dsasim/internal/cpu"
 	"dsasim/internal/sim"
 )
@@ -75,7 +77,16 @@ func (c *Client) Prepare(p *sim.Proc) {
 // a dedicated-WQ client spins on its occupancy count. It returns the
 // completion handle.
 func (c *Client) Submit(p *sim.Proc, d Descriptor) (*Completion, error) {
+	return c.TrySubmit(p, d, -1)
+}
+
+// TrySubmit submits like Submit but gives up after maxRetries full-WQ
+// rejections, returning an error wrapping ErrWQFull so callers can
+// re-schedule onto another queue or shed load. maxRetries < 0 retries
+// until the descriptor is accepted.
+func (c *Client) TrySubmit(p *sim.Proc, d Descriptor, maxRetries int) (*Completion, error) {
 	t := c.WQ.Dev.Cfg.Timing
+	rejected := 0
 	for {
 		instr := t.SubmitMOVDIR64B
 		if c.WQ.Mode == Shared {
@@ -87,6 +98,11 @@ func (c *Client) Submit(p *sim.Proc, d Descriptor) (*Completion, error) {
 		comp, err := c.WQ.Submit(d)
 		if err == ErrWQFull {
 			c.Retries++
+			rejected++
+			if maxRetries >= 0 && rejected > maxRetries {
+				return nil, fmt.Errorf("dsa: %s WQ %d rejected descriptor %d times: %w",
+					c.WQ.Dev.Cfg.Name, c.WQ.ID, rejected, ErrWQFull)
+			}
 			if c.WQ.Mode == Dedicated {
 				// Software waits for an entry to free before rewriting
 				// the portal.

@@ -7,8 +7,8 @@
 package dto
 
 import (
-	"dsasim/internal/dml"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -27,25 +27,34 @@ type Stats struct {
 	BytesCPU      int64
 }
 
-// Interposer intercepts memory-routine calls for one thread.
+// Interposer intercepts memory-routine calls for one thread, offloading
+// through an offload.Tenant.
 type Interposer struct {
-	X       *dml.Executor
+	T       *offload.Tenant
 	MinSize int64
 
 	stats Stats
 }
 
-// New wraps executor x with the default threshold.
-func New(x *dml.Executor) *Interposer {
-	return &Interposer{X: x, MinSize: DefaultMinSize}
+// New wraps tenant t with the default threshold.
+func New(t *offload.Tenant) *Interposer {
+	return &Interposer{T: t, MinSize: DefaultMinSize}
 }
 
 // Stats returns a copy of the interposer counters.
 func (i *Interposer) Stats() Stats { return i.stats }
 
-// cpuFallback runs the software path after a hardware error.
+// hw waits out one forced-hardware operation synchronously.
+func (i *Interposer) hw(p *sim.Proc, f *offload.Future, err error) (offload.Result, error) {
+	if err != nil {
+		return offload.Result{}, err
+	}
+	return f.Wait(p, i.T.Policy().Wait)
+}
+
+// cpuCopy runs the software path after a hardware error.
 func (i *Interposer) cpuCopy(p *sim.Proc, dst, src mem.Addr, n int64) error {
-	dur, err := i.X.Core.Memcpy(dst, src, n)
+	dur, err := i.T.Core.Memcpy(dst, src, n)
 	if err != nil {
 		return err
 	}
@@ -61,7 +70,8 @@ func (i *Interposer) Memcpy(p *sim.Proc, dst, src mem.Addr, n int64) error {
 		i.stats.SmallFallback++
 		return i.cpuCopy(p, dst, src, n)
 	}
-	if _, err := i.X.Copy(p, dst, src, n, dml.Hardware); err != nil {
+	f, err := i.T.Copy(p, dst, src, n, offload.On(offload.Hardware))
+	if _, err := i.hw(p, f, err); err != nil {
 		i.stats.ErrorFallback++
 		return i.cpuCopy(p, dst, src, n)
 	}
@@ -85,7 +95,7 @@ func (i *Interposer) Memset(p *sim.Proc, dst mem.Addr, c byte, n int64) error {
 	}
 	if n < i.MinSize {
 		i.stats.SmallFallback++
-		dur, err := i.X.Core.Memset(dst, n, pattern)
+		dur, err := i.T.Core.Memset(dst, n, pattern)
 		if err != nil {
 			return err
 		}
@@ -93,9 +103,10 @@ func (i *Interposer) Memset(p *sim.Proc, dst mem.Addr, c byte, n int64) error {
 		i.stats.BytesCPU += n
 		return nil
 	}
-	if _, err := i.X.Fill(p, dst, n, pattern, dml.Hardware); err != nil {
+	f, err := i.T.Fill(p, dst, n, pattern, offload.On(offload.Hardware))
+	if _, err := i.hw(p, f, err); err != nil {
 		i.stats.ErrorFallback++
-		dur, err2 := i.X.Core.Memset(dst, n, pattern)
+		dur, err2 := i.T.Core.Memset(dst, n, pattern)
 		if err2 != nil {
 			return err2
 		}
@@ -113,7 +124,7 @@ func (i *Interposer) Memcmp(p *sim.Proc, a, b mem.Addr, n int64) (equal bool, er
 	i.stats.Calls++
 	if n < i.MinSize {
 		i.stats.SmallFallback++
-		_, eq, dur, err := i.X.Core.Memcmp(a, b, n)
+		_, eq, dur, err := i.T.Core.Memcmp(a, b, n)
 		if err != nil {
 			return false, err
 		}
@@ -121,10 +132,11 @@ func (i *Interposer) Memcmp(p *sim.Proc, a, b mem.Addr, n int64) (equal bool, er
 		i.stats.BytesCPU += n
 		return eq, nil
 	}
-	res, err := i.X.Compare(p, a, b, n, dml.Hardware)
+	f, ferr := i.T.Compare(p, a, b, n, offload.On(offload.Hardware))
+	res, err := i.hw(p, f, ferr)
 	if err != nil {
 		i.stats.ErrorFallback++
-		_, eq, dur, err2 := i.X.Core.Memcmp(a, b, n)
+		_, eq, dur, err2 := i.T.Core.Memcmp(a, b, n)
 		if err2 != nil {
 			return false, err2
 		}

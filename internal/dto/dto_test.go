@@ -5,10 +5,9 @@ import (
 	"testing"
 	"time"
 
-	"dsasim/internal/cpu"
-	"dsasim/internal/dml"
 	"dsasim/internal/dsa"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -36,13 +35,15 @@ func newRig(t *testing.T) *rig {
 	if err := dev.Enable(); err != nil {
 		t.Fatal(err)
 	}
-	as := mem.NewAddressSpace(1)
-	core := cpu.NewCore(0, 0, sys, as, cpu.SPRModel())
-	x, err := dml.New(as, core, dev.WQs())
+	svc, err := offload.NewService(e, sys, dev.WQs())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &rig{e: e, as: as, node: sys.Node(0), i: New(x)}
+	tn, err := svc.NewTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{e: e, as: tn.AS, node: sys.Node(0), i: New(tn)}
 }
 
 func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {

@@ -51,6 +51,7 @@ func All() []Experiment {
 		{"fig18", "Fig 18: BERT phase timings", Fig18},
 		{"fig19", "Fig 19: CacheLib rates and tail latency", Fig19},
 		{"fig21", "Fig 21: SPDK NVMe/TCP target IOPS", Fig21},
+		{"sched", "Offload scheduler comparison (round-robin vs NUMA-local vs least-loaded)", Sched},
 	}
 }
 

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"time"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/offload"
+	"dsasim/internal/report"
+	"dsasim/internal/sim"
+)
+
+// Sched compares the offload service's WQ-selection policies on a
+// two-socket SPR system with one DSA instance per socket: a socket-0
+// tenant streams synchronous copies between socket-local buffers.
+// Round-robin sends every other descriptor across UPI and pays the
+// remote-socket latency on each leg (Fig 6a); NUMA-local keeps the tenant
+// on its own socket's device; least-loaded sits between (at queue depth 1
+// occupancy never differentiates the queues, so its tie-break alternates
+// like round-robin — it pulls ahead only under backlog, see the offload
+// package tests).
+func Sched() []*report.Table {
+	t := report.New("sched", "Offload scheduler comparison: 2 sockets, 1 DSA each, socket-local tenant", "xfer", "GB/s")
+	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	scheds := []func() offload.Scheduler{
+		func() offload.Scheduler { return offload.NewRoundRobin() },
+		func() offload.Scheduler { return offload.NewNUMALocal() },
+		func() offload.Scheduler { return offload.NewLeastLoaded() },
+	}
+	for _, mk := range scheds {
+		for _, size := range sizes {
+			sched := mk()
+			gbps := schedThroughput(sched, size, 60)
+			t.Set(sched.Name(), float64(size), gbps)
+		}
+	}
+	t.Note("NUMA-local ≥ round-robin at every size: blind balancing pays the UPI hop on half the submissions (guideline: schedule for locality first)")
+	return []*report.Table{t}
+}
+
+// schedThroughput measures GB/s of a socket-0 tenant running count
+// synchronous copies under the given scheduler.
+func schedThroughput(sched offload.Scheduler, size int64, count int) float64 {
+	e := sim.New()
+	sys := mem.NewSystem(e, mem.SystemConfig{
+		Sockets: 2,
+		LLC:     mem.LLCConfig{Capacity: 105 << 20, Ways: 15, DDIOWays: 2},
+		UPILat:  70 * time.Nanosecond,
+		UPIGBps: 62,
+		NodeDefs: []mem.NodeConfig{
+			{Socket: 0, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+			{Socket: 1, Kind: mem.DRAM, ReadLat: 110 * time.Nanosecond, WriteLat: 110 * time.Nanosecond, ReadGBps: 120, WriteGBps: 75},
+		},
+	})
+	var wqs []*dsa.WQ
+	for s := 0; s < 2; s++ {
+		dev := dsa.New(e, sys, dsa.DefaultConfig("dsa", s))
+		if _, err := dev.AddGroup(dsa.GroupConfig{
+			Engines: 4,
+			WQs:     []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}},
+		}); err != nil {
+			panic(err)
+		}
+		if err := dev.Enable(); err != nil {
+			panic(err)
+		}
+		wqs = append(wqs, dev.WQs()...)
+	}
+	svc, err := offload.NewService(e, sys, wqs,
+		offload.WithScheduler(sched), offload.WithCPUModel(cpu.SPRModel()))
+	if err != nil {
+		panic(err)
+	}
+	tn, err := svc.NewTenant(offload.OnSocket(0))
+	if err != nil {
+		panic(err)
+	}
+	src := tn.Alloc(size)
+	dst := tn.Alloc(size)
+	var end sim.Time
+	e.Go(tn.Core.Owner(), func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), size, offload.On(offload.Hardware))
+			if err != nil {
+				panic(err)
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				panic(err)
+			}
+		}
+		end = p.Now()
+	})
+	e.Run()
+	return sim.Rate(size*int64(count), end)
+}

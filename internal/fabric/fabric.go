@@ -11,9 +11,9 @@ import (
 	"fmt"
 
 	"dsasim/internal/cpu"
-	"dsasim/internal/dml"
 	"dsasim/internal/dsa"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -32,7 +32,8 @@ const (
 const SegSize int64 = 64 << 10
 
 // Domain is one fabric provider domain: the shared engine, system, node,
-// copy mode, and the DSA work queues when offloading.
+// copy mode, and — when offloading — the offload service fronting the DSA
+// work queues.
 type Domain struct {
 	E    *sim.Engine
 	Sys  *mem.System
@@ -40,16 +41,27 @@ type Domain struct {
 	Mode Mode
 	WQs  []*dsa.WQ
 	CPU  cpu.Model
+	Svc  *offload.Service
 
 	nextID int
 }
 
 // NewDomain creates a fabric domain.
 func NewDomain(e *sim.Engine, sys *mem.System, node *mem.Node, model cpu.Model, mode Mode, wqs []*dsa.WQ) (*Domain, error) {
-	if mode == DSACopy && len(wqs) == 0 {
-		return nil, fmt.Errorf("fabric: DSA mode needs work queues")
+	d := &Domain{E: e, Sys: sys, Node: node, Mode: mode, WQs: wqs, CPU: model}
+	if mode == DSACopy {
+		if len(wqs) == 0 {
+			return nil, fmt.Errorf("fabric: DSA mode needs work queues")
+		}
+		// Endpoints supply their own address spaces and cores (SharedSpace
+		// + OnCore), so no base options are needed here.
+		svc, err := offload.NewService(e, sys, wqs, offload.WithCPUModel(model))
+		if err != nil {
+			return nil, err
+		}
+		d.Svc = svc
 	}
-	return &Domain{E: e, Sys: sys, Node: node, Mode: mode, WQs: wqs, CPU: model}, nil
+	return d, nil
 }
 
 // Window is the number of SAR segments in flight per transfer in DSA mode.
@@ -61,7 +73,7 @@ type Endpoint struct {
 	ID   int
 	AS   *mem.AddressSpace
 	Core *cpu.Core
-	X    *dml.Executor
+	T    *offload.Tenant
 
 	// bounce is the ring of SAR bounce segments for sends from this
 	// endpoint; inbox is the ring where peers deposit segments for it.
@@ -97,11 +109,11 @@ func (d *Domain) NewEndpoint() (*Endpoint, error) {
 		ep.inbox = append(ep.inbox, in)
 	}
 	if d.Mode == DSACopy {
-		x, err := dml.New(as, core, d.WQs)
+		tn, err := d.Svc.NewTenant(offload.SharedSpace(as), offload.OnCore(core))
 		if err != nil {
 			return nil, err
 		}
-		ep.X = x
+		ep.T = tn
 	}
 	return ep, nil
 }
@@ -119,11 +131,11 @@ func (ep *Endpoint) Alloc(n int64) *mem.Buffer {
 }
 
 // copySeg performs one SAR copy of n bytes on this endpoint's engine.
-// Returns the async job in DSA mode (nil in CPU mode, where the call
-// blocks for the copy duration).
-func (ep *Endpoint) copySeg(p *sim.Proc, dst, src mem.Addr, n int64) (*dml.Job, error) {
+// Returns the in-flight future in DSA mode (nil in CPU mode, where the
+// call blocks for the copy duration).
+func (ep *Endpoint) copySeg(p *sim.Proc, dst, src mem.Addr, n int64) (*offload.Future, error) {
 	if ep.Dom.Mode == DSACopy {
-		return ep.X.CopyAsync(p, dst, src, n)
+		return ep.T.Copy(p, dst, src, n, offload.On(offload.Hardware))
 	}
 	dur, err := ep.Core.Memcpy(dst, src, n)
 	if err != nil {
@@ -138,14 +150,14 @@ func (ep *Endpoint) copySeg(p *sim.Proc, dst, src mem.Addr, n int64) (*dml.Job, 
 // side; SAR progress executes it on the initiating thread). In DSA mode the
 // per-segment copies are issued asynchronously with a bounded window.
 func (ep *Endpoint) Send(p *sim.Proc, peer *Endpoint, src *mem.Buffer, srcOff int64, dst *mem.Buffer, dstOff, n int64) error {
-	type segmentJobs struct{ j1, j2 *dml.Job }
+	type segmentJobs struct{ j1, j2 *offload.Future }
 	ring := make([]segmentJobs, Window)
 	waitSeg := func(s segmentJobs) error {
-		for _, j := range []*dml.Job{s.j1, s.j2} {
+		for _, j := range []*offload.Future{s.j1, s.j2} {
 			if j == nil {
 				continue
 			}
-			if _, err := j.Wait(p); err != nil {
+			if _, err := j.Wait(p, offload.Poll); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,200 @@
+package offload
+
+import (
+	"fmt"
+
+	"dsasim/internal/dif"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// Batch accumulates work descriptors for one explicit batch submission
+// (§3.4 F2, guideline G1). Submit returns a Future for the batch parent.
+type Batch struct {
+	t     *Tenant
+	descs []dsa.Descriptor
+	flags dsa.Flags
+}
+
+// WithFlags ORs extra descriptor flags into the batch submission.
+func (b *Batch) WithFlags(f dsa.Flags) *Batch {
+	b.flags |= f
+	return b
+}
+
+// NewBatch starts an empty batch.
+func (t *Tenant) NewBatch() *Batch { return &Batch{t: t} }
+
+// Len returns the number of queued descriptors.
+func (b *Batch) Len() int { return len(b.descs) }
+
+// Copy appends a copy operation.
+func (b *Batch) Copy(dst, src mem.Addr, n int64) *Batch {
+	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpMemmove, Src: src, Dst: dst, Size: n})
+	return b
+}
+
+// Fill appends a pattern-fill operation.
+func (b *Batch) Fill(dst mem.Addr, n int64, pattern uint64) *Batch {
+	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpFill, Dst: dst, Size: n, Pattern: pattern})
+	return b
+}
+
+// Compare appends a compare operation.
+func (b *Batch) Compare(x, y mem.Addr, n int64) *Batch {
+	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpCompare, Src: x, Src2: y, Size: n})
+	return b
+}
+
+// CRC32 appends a CRC generation operation.
+func (b *Batch) CRC32(src mem.Addr, n int64, seed uint32) *Batch {
+	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpCRCGen, Src: src, Size: n, CRCSeed: seed})
+	return b
+}
+
+// Dualcast appends a dualcast operation.
+func (b *Batch) Dualcast(dst1, dst2, src mem.Addr, n int64) *Batch {
+	b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpDualcast, Src: src, Dst: dst1, Dst2: dst2, Size: n})
+	return b
+}
+
+// DIFInsert appends a DIF insert operation.
+func (b *Batch) DIFInsert(dst, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags) *Batch {
+	b.descs = append(b.descs, dsa.Descriptor{
+		Op: dsa.OpDIFInsert, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: tags,
+	})
+	return b
+}
+
+// Fence appends a fence: descriptors after it wait for all before it.
+func (b *Batch) Fence() *Batch {
+	if len(b.descs) > 0 {
+		b.descs = append(b.descs, dsa.Descriptor{Op: dsa.OpNop, Flags: dsa.FlagFence})
+	}
+	return b
+}
+
+// Submit sends the batch through the scheduler and returns the in-flight
+// Future. A batch needs at least two descriptors (device rule);
+// single-entry batches are submitted as plain descriptors.
+func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
+	switch len(b.descs) {
+	case 0:
+		return nil, fmt.Errorf("offload: empty batch")
+	case 1:
+		b.t.stats.Batches++
+		d := b.descs[0]
+		b.descs = nil
+		return b.t.submit(p, d, b.flags)
+	default:
+		b.t.stats.Batches++
+		descs := b.descs
+		b.descs = nil
+		f, err := b.t.submit(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, b.flags)
+		if err == nil {
+			// The OpBatch parent carries Size 0; account the payload.
+			for _, d := range descs {
+				b.t.stats.HWBytes += d.Size
+			}
+		}
+		return f, err
+	}
+}
+
+// AutoBatcher transparently coalesces sub-threshold Auto-path copies and
+// fills into batch descriptors (G1 as policy): each absorbed operation
+// immediately returns a pending Future, and the accumulated batch flushes
+// once Policy.AutoBatch operations queue — or earlier, when any pending
+// Future is waited on or Flush is called. Only operations without result
+// values (copy and fill) coalesce; result-producing operations keep their
+// own descriptors.
+//
+// Failure semantics are batch-granular: the device writes one completion
+// record for the whole batch, so if any coalesced operation fails, every
+// sibling Future resolves with the batch error (conservative — a sibling's
+// copy may in fact have completed). Callers that redo on error stay
+// correct because coalesced copies and fills are idempotent; the failure
+// counts once toward Stats.Failures.
+type AutoBatcher struct {
+	t       *Tenant
+	pending []dsa.Descriptor
+	futs    []*Future
+}
+
+// Batcher returns the tenant's AutoBatcher, creating it on first use. It
+// is functional even when Policy.AutoBatch is zero (explicit Add/Flush);
+// the transparent path only engages when the policy enables it.
+func (t *Tenant) Batcher() *AutoBatcher {
+	if t.batcher == nil {
+		t.batcher = &AutoBatcher{t: t}
+	}
+	return t.batcher
+}
+
+// Pending returns the number of queued, unflushed operations.
+func (ab *AutoBatcher) Pending() int { return len(ab.pending) }
+
+// add queues one descriptor and returns its pending Future, flushing when
+// the policy's batch size is reached.
+func (ab *AutoBatcher) add(p *sim.Proc, d dsa.Descriptor) (*Future, error) {
+	ab.pending = append(ab.pending, d)
+	f := &Future{t: ab.t, op: d.Op, ab: ab, start: p.Now()}
+	ab.futs = append(ab.futs, f)
+	ab.t.stats.Coalesce++
+	limit := ab.t.policy.AutoBatch
+	if devMax := ab.t.S.maxBatch; limit > devMax {
+		limit = devMax
+	}
+	if limit > 0 && len(ab.pending) >= limit {
+		if err := ab.Flush(p); err != nil {
+			return f, err
+		}
+	}
+	return f, nil
+}
+
+// Flush submits the queued operations as one batch descriptor and binds
+// every pending Future to the batch completion. On submission failure all
+// pending Futures resolve with the error.
+func (ab *AutoBatcher) Flush(p *sim.Proc) error {
+	if len(ab.pending) == 0 {
+		return nil
+	}
+	descs := ab.pending
+	futs := ab.futs
+	ab.pending = nil
+	ab.futs = nil
+
+	var parent *Future
+	var err error
+	if len(descs) == 1 {
+		parent, err = ab.t.submit(p, descs[0], 0)
+	} else {
+		ab.t.stats.Batches++
+		parent, err = ab.t.submit(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, 0)
+	}
+	if err != nil {
+		for _, f := range futs {
+			f.ab = nil
+			f.done = true
+			f.err = err
+		}
+		return err
+	}
+	if len(descs) > 1 {
+		// The OpBatch parent carries Size 0; account the coalesced
+		// payload (a single-descriptor flush was counted by submit).
+		for _, d := range descs {
+			ab.t.stats.HWBytes += d.Size
+		}
+	}
+	shared := &batchWait{}
+	for _, f := range futs {
+		f.ab = nil
+		f.cl = parent.cl
+		f.comp = parent.comp
+		f.sharedWait = shared
+	}
+	return nil
+}

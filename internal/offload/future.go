@@ -1,0 +1,143 @@
+package offload
+
+import (
+	"fmt"
+
+	"dsasim/internal/dsa"
+	"dsasim/internal/sim"
+)
+
+// WaitMode aliases the device wait modes so callers need only this package:
+// Poll spins, UMWait parks the core in the optimized wait state, Interrupt
+// frees the core and pays delivery latency (§4.4).
+type WaitMode = dsa.WaitMode
+
+// Completion wait modes.
+const (
+	Poll      = dsa.Poll
+	UMWait    = dsa.UMWait
+	Interrupt = dsa.Interrupt
+)
+
+// Result is the outcome of one operation.
+type Result struct {
+	Record   dsa.CompletionRecord // hardware-path completion record
+	CRC      uint32               // CRC32 / CopyCRC result
+	Mismatch bool                 // Compare / ComparePattern mismatch
+	Offset   int64                // first mismatch offset
+	Size     int64                // delta-record bytes used
+	Hardware bool                 // executed on DSA
+	Duration sim.Time             // operation latency observed by the caller
+}
+
+// Future is one in-flight operation. Software-path operations complete
+// before the Future is returned; hardware-path ones complete when the
+// device writes the completion record; auto-batched ones complete when
+// their batch flushes and finishes. Wait is idempotent: the first call
+// resolves the result, later calls return it without re-accounting.
+type Future struct {
+	t     *Tenant
+	cl    *dsa.Client
+	comp  *dsa.Completion
+	op    dsa.OpType
+	start sim.Time
+	ab    *AutoBatcher // non-nil while queued and unflushed
+
+	// sharedWait links futures that resolve from one completion record
+	// (coalesced batch siblings): the completion is physically observed —
+	// and its wait cost paid — once, by the first waiter, and a batch
+	// failure counts once toward Stats.Failures.
+	sharedWait *batchWait
+
+	done bool
+	res  Result
+	err  error
+}
+
+// Done reports whether the result is available without waiting. A queued
+// auto-batched operation is not done until its batch flushes and finishes.
+func (f *Future) Done() bool {
+	if f.done {
+		return true
+	}
+	return f.comp != nil && f.comp.Done()
+}
+
+// Wait blocks the calling process until the operation finishes, accounting
+// the wait on the tenant's core per mode, and returns the result. Waiting
+// on an operation still queued in the AutoBatcher flushes the batch first,
+// so a dependent caller can never deadlock on an unflushed batch.
+func (f *Future) Wait(p *sim.Proc, mode WaitMode) (Result, error) {
+	if f.done {
+		return f.res, f.err
+	}
+	if f.ab != nil {
+		if err := f.ab.Flush(p); err != nil {
+			return f.res, f.err // Flush resolved this future with the error
+		}
+	}
+	if f.sharedWait == nil || !f.sharedWait.paid || !f.comp.Done() {
+		f.cl.Wait(p, f.comp, mode)
+		if f.sharedWait != nil {
+			f.sharedWait.paid = true
+		}
+	}
+	f.resolve(p.Now() - f.start)
+	return f.res, f.err
+}
+
+// batchWait is the shared wait/accounting state of coalesced siblings.
+type batchWait struct {
+	paid        bool // wait cost charged by the first waiter
+	failCounted bool // batch failure counted once toward Stats.Failures
+}
+
+// resolve decodes the completion record into the memoized result.
+func (f *Future) resolve(dur sim.Time) {
+	f.done = true
+	rec := f.comp.Record()
+	f.res = Result{Record: rec, Hardware: true, Duration: dur}
+	countFailure := func() {
+		if f.sharedWait != nil {
+			if f.sharedWait.failCounted {
+				return
+			}
+			f.sharedWait.failCounted = true
+		}
+		f.t.stats.Failures++
+	}
+	switch rec.Status {
+	case dsa.StatusSuccess:
+	case dsa.StatusRecordFull:
+		countFailure()
+		f.err = fmt.Errorf("offload: delta record overflow")
+		return
+	case dsa.StatusDIFError:
+		countFailure()
+		f.err = fmt.Errorf("offload: DIF check failed at block %d: %w", rec.Result, rec.Err)
+		return
+	case dsa.StatusBatchFail:
+		countFailure()
+		f.err = fmt.Errorf("offload: batch completed %d descriptors before failing: %w", rec.Result, rec.Err)
+		return
+	default:
+		countFailure()
+		f.err = fmt.Errorf("offload: %v: %w", rec.Status, rec.Err)
+		return
+	}
+	switch f.op {
+	case dsa.OpCRCGen, dsa.OpCopyCRC:
+		f.res.CRC = uint32(rec.Result)
+	case dsa.OpCompare, dsa.OpComparePattern:
+		f.res.Mismatch = rec.Mismatch
+		f.res.Offset = int64(rec.Result)
+	case dsa.OpCreateDelta:
+		f.res.Size = int64(rec.Result)
+	}
+}
+
+// completed builds an already-resolved Future (software path and submission
+// errors).
+func completed(res Result, err error) *Future {
+	return &Future{done: true, res: res, err: err}
+}

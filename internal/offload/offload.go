@@ -1,0 +1,177 @@
+// Package offload is the unified submission surface for accelerator work:
+// a Service that owns device/WQ selection behind a pluggable Scheduler, and
+// per-PASID Tenants that submit operations and receive Futures.
+//
+// The package encodes the paper's software guidelines as policy rather than
+// code: G1 (batch small transfers) lives in the AutoBatcher, G2 (offload
+// asynchronously; below ~4 KB prefer the core) in Policy.OffloadThreshold,
+// and the placement findings of Figs 5–11 in the NUMALocal and LeastLoaded
+// schedulers. Every operation returns a *Future whose Wait(p, mode) unifies
+// the sync, async, poll, UMWAIT, and interrupt completion paths.
+//
+//	svc, _ := offload.NewService(e, sys, wqs, offload.WithScheduler(offload.NewNUMALocal()))
+//	tn, _ := svc.NewTenant(offload.OnSocket(0))
+//	fut, _ := tn.Copy(p, dst, src, 1<<20)
+//	res, _ := fut.Wait(p, offload.Poll)
+package offload
+
+import (
+	"fmt"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// Service is the shared offload front end: one per platform (or per test
+// rig), serving many tenants over a common set of work queues. Submission
+// targets are chosen by the Scheduler; per-tenant behavior (thresholds,
+// batching, wait modes) comes from Policy.
+type Service struct {
+	E   *sim.Engine
+	Sys *mem.System
+
+	sched  Scheduler
+	policy Policy
+	model  cpu.Model
+	wqs    []*dsa.WQ
+
+	// maxBatch caches the smallest device batch limit among the WQs (an
+	// AutoBatcher flush bound); recomputed on AddWQs.
+	maxBatch int
+
+	nextPASID int
+	nextCore  int
+}
+
+// ServiceOption customizes a Service.
+type ServiceOption func(*Service)
+
+// WithScheduler selects the WQ-selection policy (default RoundRobin).
+func WithScheduler(s Scheduler) ServiceOption { return func(sv *Service) { sv.sched = s } }
+
+// WithPolicy sets the default policy inherited by new tenants.
+func WithPolicy(p Policy) ServiceOption { return func(sv *Service) { sv.policy = p } }
+
+// WithCPUModel sets the model used for cores the service creates for
+// tenants (default SPR).
+func WithCPUModel(m cpu.Model) ServiceOption { return func(sv *Service) { sv.model = m } }
+
+// WithPASIDBase sets the first PASID handed to service-created tenants.
+func WithPASIDBase(n int) ServiceOption { return func(sv *Service) { sv.nextPASID = n } }
+
+// WithCoreBase sets the first core id handed to service-created tenants.
+func WithCoreBase(n int) ServiceOption { return func(sv *Service) { sv.nextCore = n } }
+
+// NewService builds a service over the given work queues (typically every
+// enabled WQ of every platform device).
+func NewService(e *sim.Engine, sys *mem.System, wqs []*dsa.WQ, opts ...ServiceOption) (*Service, error) {
+	if len(wqs) == 0 {
+		return nil, fmt.Errorf("offload: no work queues")
+	}
+	sv := &Service{
+		E:         e,
+		Sys:       sys,
+		sched:     NewRoundRobin(),
+		policy:    DefaultPolicy(),
+		model:     cpu.SPRModel(),
+		nextPASID: 1,
+	}
+	for _, o := range opts {
+		o(sv)
+	}
+	sv.AddWQs(wqs...)
+	return sv, nil
+}
+
+// AddWQs extends the submission target set (hot-plugging a device).
+// Existing tenants see the new WQs on their next submission; their PASIDs
+// are re-bound lazily by the per-WQ client path.
+func (sv *Service) AddWQs(wqs ...*dsa.WQ) {
+	sv.wqs = append(sv.wqs, wqs...)
+	sv.maxBatch = 0
+	for _, wq := range sv.wqs {
+		if sv.maxBatch == 0 || wq.Dev.Cfg.MaxBatch < sv.maxBatch {
+			sv.maxBatch = wq.Dev.Cfg.MaxBatch
+		}
+	}
+}
+
+// WQs returns the service's submission targets.
+func (sv *Service) WQs() []*dsa.WQ { return sv.wqs }
+
+// Scheduler returns the active scheduler.
+func (sv *Service) Scheduler() Scheduler { return sv.sched }
+
+// Policy returns the service-level default policy.
+func (sv *Service) Policy() Policy { return sv.policy }
+
+// NewTenant creates a submission context. By default it allocates a fresh
+// PASID-bound address space and a core on socket 0; options override the
+// socket, supply an existing address space (shared-memory tenants), an
+// existing core, or a per-tenant policy.
+func (sv *Service) NewTenant(opts ...TenantOption) (*Tenant, error) {
+	cfg := tenantCfg{socket: 0, policy: sv.policy}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	as := cfg.as
+	if as == nil && cfg.core != nil {
+		// An adopted core already resolves software-path addresses through
+		// its own space; a fresh PASID here would split the hardware and
+		// software paths across two address spaces.
+		as = cfg.core.AS
+	}
+	if as == nil {
+		as = mem.NewAddressSpace(sv.nextPASID)
+		sv.nextPASID++
+	}
+	core := cfg.core
+	if core == nil {
+		core = cpu.NewCore(sv.nextCore, cfg.socket, sv.Sys, as, sv.model)
+		sv.nextCore++
+	}
+	t := &Tenant{
+		S:       sv,
+		AS:      as,
+		Core:    core,
+		policy:  cfg.policy,
+		clients: make(map[*dsa.WQ]*dsa.Client),
+	}
+	// Bind the tenant's PASID on every device backing the service, as an
+	// SVM process bind would (§3.4 F1). Shared-mode WQs then accept this
+	// tenant's ENQCMD submissions alongside every other tenant's.
+	seen := make(map[*dsa.Device]bool)
+	for _, wq := range sv.wqs {
+		if !seen[wq.Dev] {
+			seen[wq.Dev] = true
+			wq.Dev.BindPASID(as)
+		}
+	}
+	return t, nil
+}
+
+// tenantCfg collects tenant options.
+type tenantCfg struct {
+	socket int
+	as     *mem.AddressSpace
+	core   *cpu.Core
+	policy Policy
+}
+
+// TenantOption customizes a tenant at creation.
+type TenantOption func(*tenantCfg)
+
+// OnSocket places the tenant's core (and default allocations) on a socket.
+func OnSocket(s int) TenantOption { return func(c *tenantCfg) { c.socket = s } }
+
+// SharedSpace makes the tenant submit from an existing address space
+// instead of allocating a fresh PASID (threads of one process).
+func SharedSpace(as *mem.AddressSpace) TenantOption { return func(c *tenantCfg) { c.as = as } }
+
+// OnCore binds the tenant to an existing core instead of creating one.
+func OnCore(core *cpu.Core) TenantOption { return func(c *tenantCfg) { c.core = core } }
+
+// TenantPolicy overrides the service default policy for this tenant.
+func TenantPolicy(p Policy) TenantOption { return func(c *tenantCfg) { c.policy = p } }

@@ -1,0 +1,71 @@
+package offload
+
+import (
+	"dsasim/internal/dsa"
+)
+
+// Path selects the execution engine for one operation.
+type Path int
+
+// Execution paths.
+const (
+	// Auto applies the tenant policy: offload at or above OffloadThreshold,
+	// coalesce smaller transfers when auto-batching is on, otherwise run
+	// them on the core (G1/G2).
+	Auto Path = iota
+	// Hardware forces DSA execution.
+	Hardware
+	// Software forces the CPU baseline.
+	Software
+)
+
+// Policy is the tunable encoding of the paper's guidelines. The zero value
+// is not useful; start from DefaultPolicy.
+type Policy struct {
+	// OffloadThreshold is the G2 size floor: Auto-path operations below it
+	// stay on the core (or enter the AutoBatcher when enabled). The paper
+	// places the synchronous crossover near 4 KB (Fig 2a).
+	OffloadThreshold int64
+
+	// AutoBatch, when positive, enables transparent coalescing (G1): Auto-
+	// path copies and fills below OffloadThreshold queue in the tenant's
+	// AutoBatcher and flush as one batch descriptor once AutoBatch
+	// operations accumulate (or on Flush/Wait).
+	AutoBatch int
+
+	// Wait is the default completion mode for synchronous helpers and the
+	// compatibility shim: Poll, UMWait, or Interrupt (§4.4, Fig 11).
+	Wait WaitMode
+
+	// MaxRetries bounds full-WQ submission retries. Negative means retry
+	// until the descriptor is accepted (the classic ENQCMD loop); zero or
+	// more surfaces dsa.ErrWQFull to the caller after that many retries,
+	// letting it re-schedule or shed load.
+	MaxRetries int
+
+	// Flags is OR-ed into every hardware descriptor (cache control,
+	// block-on-fault, ...).
+	Flags dsa.Flags
+}
+
+// DefaultPolicy returns the guideline defaults: 4 KB offload threshold,
+// auto-batching off, polled completions, block-until-accepted submission.
+func DefaultPolicy() Policy {
+	return Policy{
+		OffloadThreshold: 4096,
+		AutoBatch:        0,
+		Wait:             Poll,
+		MaxRetries:       -1,
+	}
+}
+
+// Stats counts tenant activity.
+type Stats struct {
+	HWOps    int64 // descriptors submitted to hardware (incl. batch parents)
+	SWOps    int64 // operations executed on the core
+	HWBytes  int64
+	SWBytes  int64
+	Batches  int64 // batch descriptors submitted (explicit and auto)
+	Coalesce int64 // operations absorbed into auto-batches
+	Failures int64 // submissions or completions that returned errors
+}

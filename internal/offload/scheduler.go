@@ -1,0 +1,97 @@
+package offload
+
+import (
+	"dsasim/internal/dsa"
+)
+
+// Scheduler picks the work queue for one submission. Implementations see
+// the submitting tenant's socket and the service's full WQ set; they are
+// simulation-domain objects (no locking needed).
+//
+// The three built-ins ladder up the paper's placement findings: RoundRobin
+// is the blind spreading the old per-thread executor did; NUMALocal honors
+// Fig 6a (a same-socket device avoids the UPI crossing that roughly halves
+// throughput); LeastLoaded honors Figs 4/9 (WQ backlog, not device count,
+// bounds completion latency under asymmetric load).
+type Scheduler interface {
+	// Name identifies the policy in reports and experiment tables.
+	Name() string
+	// Pick returns the submission target for a tenant on the given socket.
+	// wqs is non-empty; Pick must return one of its elements.
+	Pick(socket int, wqs []*dsa.WQ) *dsa.WQ
+}
+
+// RoundRobin cycles through every WQ regardless of locality or load — the
+// legacy executor behavior, kept as the baseline policy.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns the baseline scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(socket int, wqs []*dsa.WQ) *dsa.WQ {
+	wq := wqs[r.next%len(wqs)]
+	r.next++
+	return wq
+}
+
+// NUMALocal prefers WQs whose device sits on the submitting tenant's
+// socket, round-robining within that set, and falls back to the full set
+// (crossing UPI) only when the socket has no local device.
+type NUMALocal struct {
+	next map[int]int
+}
+
+// NewNUMALocal returns the locality-aware scheduler.
+func NewNUMALocal() *NUMALocal { return &NUMALocal{next: make(map[int]int)} }
+
+// Name implements Scheduler.
+func (s *NUMALocal) Name() string { return "numa-local" }
+
+// Pick implements Scheduler.
+func (s *NUMALocal) Pick(socket int, wqs []*dsa.WQ) *dsa.WQ {
+	var local []*dsa.WQ
+	for _, wq := range wqs {
+		if wq.Dev.Cfg.Socket == socket {
+			local = append(local, wq)
+		}
+	}
+	if len(local) == 0 {
+		local = wqs
+	}
+	wq := local[s.next[socket]%len(local)]
+	s.next[socket]++
+	return wq
+}
+
+// LeastLoaded picks the WQ with the fewest occupied entries, breaking ties
+// round-robin so equal queues still spread. Occupancy counts descriptors
+// accepted but not yet dispatched to an engine, so a hogged or slow queue
+// is routed around instead of blocking the submitter in the retry loop.
+type LeastLoaded struct {
+	next int
+}
+
+// NewLeastLoaded returns the occupancy-aware scheduler.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Scheduler.
+func (s *LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Scheduler.
+func (s *LeastLoaded) Pick(socket int, wqs []*dsa.WQ) *dsa.WQ {
+	s.next++
+	best := wqs[s.next%len(wqs)]
+	for i := 1; i < len(wqs); i++ {
+		wq := wqs[(s.next+i)%len(wqs)]
+		if wq.Occupancy() < best.Occupancy() {
+			best = wq
+		}
+	}
+	return best
+}

@@ -1,0 +1,327 @@
+package offload
+
+import (
+	"dsasim/internal/cpu"
+	"dsasim/internal/dif"
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
+)
+
+// Tenant is one client of the service: a PASID-bound address space and a
+// submitting core, with its own policy, batcher, and counters. Tenants
+// sharing a shared-mode WQ model true multi-process submission: each
+// ENQCMD carries its own PASID, and the device resolves the address space
+// per descriptor.
+type Tenant struct {
+	S    *Service
+	AS   *mem.AddressSpace
+	Core *cpu.Core
+
+	policy  Policy
+	batcher *AutoBatcher
+	clients map[*dsa.WQ]*dsa.Client
+	stats   Stats
+}
+
+// Policy returns the tenant's active policy.
+func (t *Tenant) Policy() Policy { return t.policy }
+
+// SetPolicy replaces the tenant's policy (taking effect on the next
+// operation; a pending auto-batch keeps its queued descriptors).
+func (t *Tenant) SetPolicy(p Policy) { t.policy = p }
+
+// Stats returns a copy of the tenant counters.
+func (t *Tenant) Stats() Stats { return t.stats }
+
+// client returns the tenant's accounting client for wq, creating it on
+// first use (and late-binding the PASID for WQs added after the tenant).
+func (t *Tenant) client(wq *dsa.WQ) *dsa.Client {
+	cl, ok := t.clients[wq]
+	if !ok {
+		wq.Dev.BindPASID(t.AS)
+		cl = dsa.NewClient(wq, t.Core)
+		t.clients[wq] = cl
+	}
+	return cl
+}
+
+// localNode returns the DRAM node on the tenant's socket (not merely the
+// socket's first node, which can be a CXL expander).
+func (t *Tenant) localNode() *mem.Node {
+	sock := t.S.Sys.SocketOf(t.Core.Socket)
+	for _, n := range sock.Nodes {
+		if n.Kind == mem.DRAM {
+			return n
+		}
+	}
+	return sock.Nodes[0]
+}
+
+// Alloc allocates a buffer on the tenant's local DRAM node. Additional
+// mem options (page size, lazy mapping, explicit node) are honored; an
+// explicit mem.OnNode placement overrides the local default.
+func (t *Tenant) Alloc(size int64, opts ...mem.AllocOption) *mem.Buffer {
+	opts = append([]mem.AllocOption{mem.OnNode(t.localNode())}, opts...)
+	return t.AS.Alloc(size, opts...)
+}
+
+// AllocOn allocates on the platform node with the given id (0 = socket-0
+// DRAM, 1 = socket-1 DRAM, 2 = CXL on SPR), so tiered-memory placement
+// never needs to reach into the memory system directly.
+func (t *Tenant) AllocOn(node int, size int64, opts ...mem.AllocOption) *mem.Buffer {
+	opts = append([]mem.AllocOption{mem.OnNode(t.S.Sys.Node(node))}, opts...)
+	return t.AS.Alloc(size, opts...)
+}
+
+// submitCfg collects per-operation options.
+type submitCfg struct {
+	path    Path
+	noBatch bool
+	flags   dsa.Flags
+}
+
+// OpOption customizes one operation.
+type OpOption func(*submitCfg)
+
+// On forces the execution path (overriding the Auto policy).
+func On(path Path) OpOption { return func(c *submitCfg) { c.path = path } }
+
+// NoBatch bypasses the AutoBatcher for this operation.
+func NoBatch() OpOption { return func(c *submitCfg) { c.noBatch = true } }
+
+// OpFlags ORs extra descriptor flags into this operation.
+func OpFlags(f dsa.Flags) OpOption { return func(c *submitCfg) { c.flags = f } }
+
+func opCfg(opts []OpOption) submitCfg {
+	var c submitCfg
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// useHW resolves the path decision for an n-byte operation.
+func (t *Tenant) useHW(c submitCfg, n int64) bool {
+	switch c.path {
+	case Hardware:
+		return true
+	case Software:
+		return false
+	default:
+		return n >= t.policy.OffloadThreshold
+	}
+}
+
+// autoBatchable reports whether an Auto-path sub-threshold operation
+// should coalesce instead of running on the core (G1 over G2: batching
+// amortizes the offload overhead that otherwise makes small transfers a
+// core job, Fig 3).
+func (t *Tenant) autoBatchable(c submitCfg, n int64) bool {
+	return c.path == Auto && !c.noBatch && t.policy.AutoBatch > 0 && n < t.policy.OffloadThreshold
+}
+
+// submit schedules, prepares, and submits one hardware descriptor,
+// returning its Future. Bounded-retry policies surface dsa.ErrWQFull
+// through the error.
+func (t *Tenant) submit(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future, error) {
+	d.PASID = t.AS.PASID
+	d.Flags |= t.policy.Flags | flags
+	wq := t.S.sched.Pick(t.Core.Socket, t.S.wqs)
+	cl := t.client(wq)
+	cl.Prepare(p)
+	start := p.Now()
+	comp, err := cl.TrySubmit(p, d, t.policy.MaxRetries)
+	if err != nil {
+		t.stats.Failures++
+		return nil, err
+	}
+	t.stats.HWOps++
+	t.stats.HWBytes += d.Size
+	return &Future{t: t, cl: cl, comp: comp, op: d.Op, start: start}, nil
+}
+
+// sw wraps a completed software-path result, charging the core time.
+func (t *Tenant) sw(p *sim.Proc, start sim.Time, bytes int64, dur sim.Time, err error, fill func(*Result)) (*Future, error) {
+	if err != nil {
+		t.stats.Failures++
+		return nil, err
+	}
+	p.Sleep(dur)
+	t.stats.SWOps++
+	t.stats.SWBytes += bytes
+	res := Result{Duration: p.Now() - start}
+	if fill != nil {
+		fill(&res)
+	}
+	return completed(res, nil), nil
+}
+
+// Copy moves n bytes from src to dst.
+func (t *Tenant) Copy(p *sim.Proc, dst, src mem.Addr, n int64, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{Op: dsa.OpMemmove, Src: src, Dst: dst, Size: n}, c.flags)
+	}
+	if t.autoBatchable(c, n) {
+		return t.Batcher().add(p, dsa.Descriptor{
+			Op: dsa.OpMemmove, Src: src, Dst: dst, Size: n, Flags: t.policy.Flags | c.flags,
+		})
+	}
+	start := p.Now()
+	dur, err := t.Core.Memcpy(dst, src, n)
+	return t.sw(p, start, n, dur, err, nil)
+}
+
+// Fill writes the repeating 8-byte pattern over n bytes at dst.
+func (t *Tenant) Fill(p *sim.Proc, dst mem.Addr, n int64, pattern uint64, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{Op: dsa.OpFill, Dst: dst, Size: n, Pattern: pattern}, c.flags)
+	}
+	if t.autoBatchable(c, n) {
+		return t.Batcher().add(p, dsa.Descriptor{
+			Op: dsa.OpFill, Dst: dst, Size: n, Pattern: pattern, Flags: t.policy.Flags | c.flags,
+		})
+	}
+	start := p.Now()
+	dur, err := t.Core.Memset(dst, n, pattern)
+	return t.sw(p, start, n, dur, err, nil)
+}
+
+// Compare checks n bytes at a and b for equality.
+func (t *Tenant) Compare(p *sim.Proc, a, b mem.Addr, n int64, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{Op: dsa.OpCompare, Src: a, Src2: b, Size: n}, c.flags)
+	}
+	start := p.Now()
+	off, eq, dur, err := t.Core.Memcmp(a, b, n)
+	return t.sw(p, start, n, dur, err, func(r *Result) { r.Mismatch = !eq; r.Offset = off })
+}
+
+// ComparePattern checks n bytes at src against the repeating pattern.
+func (t *Tenant) ComparePattern(p *sim.Proc, src mem.Addr, n int64, pattern uint64, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{Op: dsa.OpComparePattern, Src: src, Size: n, Pattern: pattern}, c.flags)
+	}
+	start := p.Now()
+	off, eq, dur, err := t.Core.ComparePattern(src, n, pattern)
+	return t.sw(p, start, n, dur, err, func(r *Result) { r.Mismatch = !eq; r.Offset = off })
+}
+
+// CRC32 computes the seeded CRC-32 of n bytes at src.
+func (t *Tenant) CRC32(p *sim.Proc, src mem.Addr, n int64, seed uint32, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{Op: dsa.OpCRCGen, Src: src, Size: n, CRCSeed: seed}, c.flags)
+	}
+	start := p.Now()
+	crc, dur, err := t.Core.CRC32(src, n, seed)
+	return t.sw(p, start, n, dur, err, func(r *Result) { r.CRC = crc })
+}
+
+// CopyCRC copies n bytes and returns the CRC-32 of the data.
+func (t *Tenant) CopyCRC(p *sim.Proc, dst, src mem.Addr, n int64, seed uint32, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{Op: dsa.OpCopyCRC, Src: src, Dst: dst, Size: n, CRCSeed: seed}, c.flags)
+	}
+	start := p.Now()
+	crc, dur, err := t.Core.CopyCRC(dst, src, n, seed)
+	return t.sw(p, start, n, dur, err, func(r *Result) { r.CRC = crc })
+}
+
+// Dualcast copies n bytes from src to both destinations.
+func (t *Tenant) Dualcast(p *sim.Proc, dst1, dst2, src mem.Addr, n int64, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{Op: dsa.OpDualcast, Src: src, Dst: dst1, Dst2: dst2, Size: n}, c.flags)
+	}
+	start := p.Now()
+	dur, err := t.Core.Dualcast(dst1, dst2, src, n)
+	return t.sw(p, start, n, dur, err, nil)
+}
+
+// CreateDelta writes a delta record of orig→mod differences into record.
+func (t *Tenant) CreateDelta(p *sim.Proc, record, orig, mod mem.Addr, n, maxRecord int64, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{
+			Op: dsa.OpCreateDelta, Src: orig, Src2: mod, Dst: record, Size: n, MaxDst: maxRecord,
+		}, c.flags)
+	}
+	start := p.Now()
+	used, dur, err := t.Core.DeltaCreate(record, orig, mod, n, maxRecord)
+	return t.sw(p, start, 2*n, dur, err, func(r *Result) { r.Size = used })
+}
+
+// ApplyDelta replays a recordLen-byte delta record onto dst (dstLen bytes).
+func (t *Tenant) ApplyDelta(p *sim.Proc, dst, record mem.Addr, recordLen, dstLen int64, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, recordLen) {
+		return t.submit(p, dsa.Descriptor{
+			Op: dsa.OpApplyDelta, Src: record, Dst: dst, Size: recordLen, MaxDst: dstLen,
+		}, c.flags)
+	}
+	start := p.Now()
+	dur, err := t.Core.DeltaApply(dst, record, recordLen, dstLen)
+	return t.sw(p, start, recordLen, dur, err, nil)
+}
+
+// DIFInsert generates protected blocks from n raw bytes at src.
+func (t *Tenant) DIFInsert(p *sim.Proc, dst, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{
+			Op: dsa.OpDIFInsert, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: tags,
+		}, c.flags)
+	}
+	start := p.Now()
+	dur, err := t.Core.DIFInsert(dst, src, n, bs, tags)
+	return t.sw(p, start, n, dur, err, nil)
+}
+
+// DIFCheck verifies n protected bytes at src.
+func (t *Tenant) DIFCheck(p *sim.Proc, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{
+			Op: dsa.OpDIFCheck, Src: src, Size: n, DIFBlock: bs, DIFTags: tags,
+		}, c.flags)
+	}
+	start := p.Now()
+	dur, err := t.Core.DIFCheck(src, n, bs, tags)
+	if err != nil {
+		t.stats.Failures++
+		return completed(Result{Duration: dur}, err), err
+	}
+	return t.sw(p, start, n, dur, nil, nil)
+}
+
+// DIFStrip verifies and removes protection information.
+func (t *Tenant) DIFStrip(p *sim.Proc, dst, src mem.Addr, n int64, bs dif.BlockSize, tags dif.Tags, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{
+			Op: dsa.OpDIFStrip, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: tags,
+		}, c.flags)
+	}
+	start := p.Now()
+	dur, err := t.Core.DIFStrip(dst, src, n, bs, tags)
+	return t.sw(p, start, n, dur, err, nil)
+}
+
+// DIFUpdate rewrites protection information from old to new tags.
+func (t *Tenant) DIFUpdate(p *sim.Proc, dst, src mem.Addr, n int64, bs dif.BlockSize, old, new dif.Tags, opts ...OpOption) (*Future, error) {
+	c := opCfg(opts)
+	if t.useHW(c, n) {
+		return t.submit(p, dsa.Descriptor{
+			Op: dsa.OpDIFUpdate, Src: src, Dst: dst, Size: n, DIFBlock: bs, DIFTags: old, DIFTags2: new,
+		}, c.flags)
+	}
+	start := p.Now()
+	dur, err := t.Core.DIFUpdate(dst, src, n, bs, old, new)
+	return t.sw(p, start, n, dur, err, nil)
+}

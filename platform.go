@@ -10,16 +10,29 @@
 // the paper's evaluation on top of these platforms; cmd/dsa-bench renders
 // them.
 //
+// Work is submitted through the unified offload API (internal/offload): the
+// platform owns an offload.Service whose pluggable Scheduler places each
+// descriptor on a work queue (round-robin, NUMA-local, or least-loaded),
+// and each client of the service is an offload.Tenant — a PASID-bound
+// address space plus a submitting core. Every operation returns a Future;
+// Wait(p, mode) covers the polled, UMWAIT, and interrupt completion paths,
+// and the paper's guidelines are policy: G2's offload threshold and G1's
+// small-transfer coalescing (AutoBatcher) live in offload.Policy.
+//
 // Quick start:
 //
 //	pl := dsasim.NewPlatform(dsasim.SPR())
-//	ws := pl.NewWorkspace()
+//	tn := pl.NewTenant()
 //	pl.Run(func(p *sim.Proc) {
-//	    src := ws.Alloc(1 << 20)
-//	    dst := ws.Alloc(1 << 20)
-//	    res, _ := ws.DML.Copy(p, dst.Addr(0), src.Addr(0), 1<<20, dml.Auto)
+//	    src := tn.Alloc(1 << 20)
+//	    dst := tn.Alloc(1 << 20)
+//	    fut, _ := tn.Copy(p, dst.Addr(0), src.Addr(0), 1<<20)
+//	    res, _ := fut.Wait(p, offload.Poll)
 //	    fmt.Println("copied in", res.Duration)
 //	})
+//
+// The legacy Workspace/DML surface remains as a compatibility shim over the
+// same service (internal/dml).
 package dsasim
 
 import (
@@ -31,6 +44,7 @@ import (
 	"dsasim/internal/dsa"
 	"dsasim/internal/idxd"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -49,6 +63,12 @@ type Profile struct {
 	Devices int
 	// DeviceConfig templates each device (socket/name are overridden).
 	DeviceConfig dsa.Config
+	// Scheduler builds the offload service's WQ-selection policy
+	// (default: offload.NewRoundRobin).
+	Scheduler func() offload.Scheduler
+	// Policy is the offload service's default tenant policy (zero value:
+	// offload.DefaultPolicy).
+	Policy *offload.Policy
 }
 
 // SPR returns the Sapphire Rapids profile: 56 cores, 105 MB LLC, eight DDR5
@@ -102,8 +122,10 @@ type Platform struct {
 	Registry *idxd.Registry
 	Devices  []*dsa.Device
 
-	nextPASID int
-	nextCore  int
+	// Offload is the platform's submission service: every tenant and
+	// workspace submits through it, and its Scheduler owns device/WQ
+	// placement.
+	Offload *offload.Service
 }
 
 // NewPlatform builds and enables a platform from profile.
@@ -117,11 +139,10 @@ func NewPlatform(pr Profile) *Platform {
 		NodeDefs: pr.Nodes,
 	})
 	pl := &Platform{
-		Profile:   pr,
-		E:         e,
-		Sys:       sys,
-		Registry:  idxd.NewRegistry(e, sys),
-		nextPASID: 1,
+		Profile:  pr,
+		E:        e,
+		Sys:      sys,
+		Registry: idxd.NewRegistry(e, sys),
 	}
 	for i := 0; i < pr.Devices; i++ {
 		cfg := pr.DeviceConfig
@@ -146,11 +167,39 @@ func NewPlatform(pr Profile) *Platform {
 		}
 		pl.Devices = append(pl.Devices, ent.Dev)
 	}
+	var wqs []*dsa.WQ
+	for _, dev := range pl.Devices {
+		wqs = append(wqs, dev.WQs()...)
+	}
+	// A device-less profile (CPU-only baseline) constructs fine; the
+	// service comes up with the first device (here or via AddDevice), and
+	// tenant creation fails until then — matching the legacy behavior of
+	// failing at workspace creation, not platform construction.
+	if len(wqs) > 0 {
+		pl.initService(wqs)
+	}
 	return pl
 }
 
+// initService builds the offload service from the profile knobs.
+func (pl *Platform) initService(wqs []*dsa.WQ) {
+	opts := []offload.ServiceOption{offload.WithCPUModel(pl.Profile.CPU)}
+	if pl.Profile.Scheduler != nil {
+		opts = append(opts, offload.WithScheduler(pl.Profile.Scheduler()))
+	}
+	if pl.Profile.Policy != nil {
+		opts = append(opts, offload.WithPolicy(*pl.Profile.Policy))
+	}
+	svc, err := offload.NewService(pl.E, pl.Sys, wqs, opts...)
+	if err != nil {
+		panic(err)
+	}
+	pl.Offload = svc
+}
+
 // AddDevice creates, configures, and enables an additional device with a
-// custom group layout, returning it.
+// custom group layout, registering its WQs with the offload service, and
+// returns it.
 func (pl *Platform) AddDevice(name string, socket int, groups ...dsa.GroupConfig) (*dsa.Device, error) {
 	cfg := pl.Profile.DeviceConfig
 	cfg.Name = name
@@ -168,6 +217,11 @@ func (pl *Platform) AddDevice(name string, socket int, groups ...dsa.GroupConfig
 		return nil, err
 	}
 	pl.Devices = append(pl.Devices, dev)
+	if pl.Offload == nil {
+		pl.initService(dev.WQs())
+	} else {
+		pl.Offload.AddWQs(dev.WQs()...)
+	}
 	return dev, nil
 }
 
@@ -175,10 +229,30 @@ func (pl *Platform) AddDevice(name string, socket int, groups ...dsa.GroupConfig
 // DRAM, 2 = CXL on SPR).
 func (pl *Platform) Node(id int) *mem.Node { return pl.Sys.Node(id) }
 
-// Workspace is one process's execution context: an address space bound to
-// the platform devices, a core, and a DML executor.
+// NewTenant creates an offload tenant on socket 0: a fresh PASID-bound
+// address space and core, submitting through the platform scheduler.
+func (pl *Platform) NewTenant(opts ...offload.TenantOption) *offload.Tenant {
+	if pl.Offload == nil {
+		panic("dsasim: platform has no devices (no work queues to submit to)")
+	}
+	tn, err := pl.Offload.NewTenant(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return tn
+}
+
+// NewTenantOn creates a tenant on the given socket.
+func (pl *Platform) NewTenantOn(socket int, opts ...offload.TenantOption) *offload.Tenant {
+	opts = append([]offload.TenantOption{offload.OnSocket(socket)}, opts...)
+	return pl.NewTenant(opts...)
+}
+
+// Workspace is the legacy process context, kept as a compatibility shim:
+// the same tenant exposed through the dml.Executor API.
 type Workspace struct {
 	Platform *Platform
+	Tenant   *offload.Tenant
 	AS       *mem.AddressSpace
 	Core     *cpu.Core
 	DML      *dml.Executor
@@ -191,26 +265,21 @@ func (pl *Platform) NewWorkspace(opts ...dml.Option) *Workspace {
 
 // NewWorkspaceOn creates a process context on the given socket.
 func (pl *Platform) NewWorkspaceOn(socket int, opts ...dml.Option) *Workspace {
-	as := mem.NewAddressSpace(pl.nextPASID)
-	pl.nextPASID++
-	core := cpu.NewCore(pl.nextCore, socket, pl.Sys, as, pl.Profile.CPU)
-	pl.nextCore++
-	var wqs []*dsa.WQ
-	for _, dev := range pl.Devices {
-		wqs = append(wqs, dev.WQs()...)
+	tn := pl.NewTenantOn(socket)
+	return &Workspace{
+		Platform: pl,
+		Tenant:   tn,
+		AS:       tn.AS,
+		Core:     tn.Core,
+		DML:      dml.FromTenant(tn, opts...),
 	}
-	x, err := dml.New(as, core, wqs, opts...)
-	if err != nil {
-		panic(err)
-	}
-	return &Workspace{Platform: pl, AS: as, Core: core, DML: x}
 }
 
-// Alloc allocates a buffer on the workspace's local DRAM node.
+// Alloc allocates a buffer on the workspace's local DRAM node (delegating
+// to the tenant allocator, which prefers the socket's DRAM node and honors
+// explicit placement options).
 func (w *Workspace) Alloc(size int64, opts ...mem.AllocOption) *mem.Buffer {
-	node := w.Platform.Sys.SocketOf(w.Core.Socket).Nodes[0]
-	opts = append([]mem.AllocOption{mem.OnNode(node)}, opts...)
-	return w.AS.Alloc(size, opts...)
+	return w.Tenant.Alloc(size, opts...)
 }
 
 // Run starts fn as a simulated process and runs the engine to completion.

@@ -7,6 +7,7 @@ import (
 	"dsasim/internal/dml"
 	"dsasim/internal/dsa"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -95,5 +96,95 @@ func TestMultiSocketWorkspace(t *testing.T) {
 	buf := ws.Alloc(4096)
 	if buf.Node.Socket != 1 {
 		t.Fatalf("socket-1 workspace allocated on socket %d", buf.Node.Socket)
+	}
+}
+
+func TestTenantOffloadAPI(t *testing.T) {
+	pl := NewPlatform(SPR())
+	tn := pl.NewTenant()
+	n := int64(1 << 20)
+	src := tn.Alloc(n)
+	dst := tn.Alloc(n)
+	sim.NewRand(11).Bytes(src.Bytes())
+	pl.Run(func(p *sim.Proc) {
+		fut, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := fut.Wait(p, offload.Poll)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !res.Hardware {
+			t.Error("1MB copy should take the hardware path")
+		}
+	})
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("tenant copy incomplete")
+	}
+	if tn.Stats().HWOps != 1 {
+		t.Fatalf("stats = %+v", tn.Stats())
+	}
+}
+
+func TestTenantAllocOnCXLNode(t *testing.T) {
+	pl := NewPlatform(SPR())
+	tn := pl.NewTenant()
+	if b := tn.AllocOn(2, 4096); b.Node.Kind != mem.CXL {
+		t.Fatalf("AllocOn(2) landed on %v, want CXL", b.Node.Kind)
+	}
+	if b := tn.Alloc(4096); b.Node.Kind != mem.DRAM || b.Node.Socket != 0 {
+		t.Fatal("default tenant allocation should land on socket-0 DRAM")
+	}
+}
+
+// sprSchedElapsed builds the acceptance scenario — the SPR profile with a
+// second DSA instance on socket 1 — and measures count synchronous 16KB
+// copies from a socket-0 tenant under the profile's scheduler.
+func sprSchedElapsed(t *testing.T, mk func() offload.Scheduler, count int) sim.Time {
+	t.Helper()
+	pr := SPR()
+	pr.Scheduler = mk
+	pl := NewPlatform(pr)
+	if _, err := pl.AddDevice("dsa1", 1, dsa.GroupConfig{
+		Engines: 4,
+		WQs:     []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tn := pl.NewTenant()
+	n := int64(16 << 10)
+	src := tn.Alloc(n)
+	dst := tn.Alloc(n)
+	var elapsed sim.Time
+	pl.Run(func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < count; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		elapsed = p.Now() - start
+	})
+	return elapsed
+}
+
+// Scheduler comparison on the real SPR profile with one device per socket:
+// NUMA-local placement must deliver at least round-robin's throughput for
+// a socket-local workload (Fig 6a's remote-placement penalty).
+func TestSchedulerComparisonOnSPR(t *testing.T) {
+	const count = 100
+	rr := sprSchedElapsed(t, func() offload.Scheduler { return offload.NewRoundRobin() }, count)
+	local := sprSchedElapsed(t, func() offload.Scheduler { return offload.NewNUMALocal() }, count)
+	if local > rr {
+		t.Fatalf("NUMALocal (%v) slower than RoundRobin (%v) on the 2-device SPR platform", local, rr)
 	}
 }
