@@ -10,19 +10,26 @@ import (
 
 	"dsasim"
 	"dsasim/internal/dsa"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 	"dsasim/internal/vhost"
 )
 
 func forwardingRate(mode vhost.Mode, pktSize int64) (float64, bool) {
-	pl := dsasim.NewPlatform(dsasim.SPR())
-	tn := pl.NewTenant()
+	// The QoS profile: each device exposes a reserved high-priority WQ
+	// that the PriorityAware scheduler hands to latency-sensitive tenants
+	// — packet forwarding is exactly that class of traffic.
+	pl := dsasim.NewPlatform(dsasim.SPRQoS())
+	tn := pl.NewTenant(offload.WithClass(offload.LatencySensitive))
 	vq := vhost.NewVirtqueue(tn.AS, pl.Node(0), 256, 2048)
 	var wq *dsa.WQ
 	if mode == vhost.DSACopy {
 		// The backend drives one queue directly; take the scheduler's pick
-		// for this tenant's socket.
-		wq = pl.Offload.Scheduler().Pick(tn.Core.Socket, pl.Offload.WQs())
+		// for this tenant's socket and class — the express WQ.
+		wq = pl.Offload.Scheduler().Pick(offload.Request{
+			Socket: tn.Core.Socket,
+			Class:  offload.LatencySensitive,
+		}, pl.Offload.WQs())
 	}
 	backend, err := vhost.NewBackend(mode, vq, tn.Core, tn.AS, wq)
 	if err != nil {

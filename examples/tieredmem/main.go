@@ -23,7 +23,13 @@ const (
 // migrate moves n pages between tiers and returns the total virtual time.
 func migrate(useDSA bool, srcNode, dstNode int) sim.Time {
 	pl := dsasim.NewPlatform(dsasim.SPR())
-	tn := pl.NewTenant()
+	// Page migration is background traffic: declare it Bulk so a QoS-aware
+	// scheduler would keep it off any reserved WQ, and let the adaptive
+	// threshold shed sub-threshold stragglers to the core if the device
+	// saturates mid-migration.
+	pol := offload.DefaultPolicy()
+	pol.AdaptiveThreshold = true
+	tn := pl.NewTenant(offload.WithClass(offload.Bulk), offload.TenantPolicy(pol))
 
 	src := make([]*mem.Buffer, pages)
 	dst := make([]*mem.Buffer, pages)

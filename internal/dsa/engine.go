@@ -286,6 +286,9 @@ func (eng *Engine) finishFunc(wk *work, at sim.Time, fn func() CompletionRecord)
 		d.stats.Completed++
 		g.inflight--
 		wk.comp.complete(rec)
+		if wk.wq != nil {
+			wk.wq.observeLatency(wk.comp.Latency())
+		}
 		if wk.parent != nil {
 			wk.parent.childDone(rec)
 		}
@@ -412,6 +415,9 @@ func (bs *batchState) childDone(rec CompletionRecord) {
 				Status: status,
 				Result: uint64(bs.succeeded),
 			})
+			if bs.wk.wq != nil {
+				bs.wk.wq.observeLatency(bs.wk.comp.Latency())
+			}
 			g.drainSig.Broadcast(d.E)
 		})
 	}

@@ -81,6 +81,7 @@ func (g *Group) nextWork() (*work, bool) {
 			}
 			wk, _ := wq.q.Pop()
 			wq.occupied--
+			wq.sampleOcc()
 			g.credits[idx]--
 			g.rr = (idx + 1) % n
 			if g.allCreditsSpent() {

@@ -52,6 +52,7 @@ func All() []Experiment {
 		{"fig19", "Fig 19: CacheLib rates and tail latency", Fig19},
 		{"fig21", "Fig 21: SPDK NVMe/TCP target IOPS", Fig21},
 		{"sched", "Offload scheduler comparison (round-robin vs NUMA-local vs least-loaded)", Sched},
+		{"qos", "QoS scheduling: latency-sensitive p99 under bulk interference (§3.4 F3)", QoS},
 	}
 }
 

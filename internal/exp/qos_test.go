@@ -1,0 +1,30 @@
+package exp
+
+import "testing"
+
+// The PR's acceptance experiment: under bulk interference (24 megabyte
+// copies in flight), the latency-sensitive tenant's p99 completion latency
+// must be materially lower with PriorityAware scheduling + admission
+// control than with QoS-blind least-loaded scheduling. The probe runs at
+// half the sweep's deepest point to keep tier-1 time modest.
+func TestQoSProtectsLatencySensitiveTail(t *testing.T) {
+	cfgs := qosConfigs()
+	if cfgs[0].name != "least-loaded" || cfgs[1].name != "qos" {
+		t.Fatalf("unexpected config order: %q, %q", cfgs[0].name, cfgs[1].name)
+	}
+	base := qosP99(cfgs[0], 24)
+	qos := qosP99(cfgs[1], 24)
+	if qos >= base {
+		t.Fatalf("QoS p99 (%v) not lower than least-loaded p99 (%v) under bulk interference", qos, base)
+	}
+	if float64(qos)*2 > float64(base) {
+		t.Errorf("QoS advantage too small: %v vs %v (want at least 2x)", qos, base)
+	}
+	// Without interference the two configurations are equivalent: the
+	// express lane buys nothing when nothing competes.
+	idleBase := qosP99(cfgs[0], 0)
+	idleQoS := qosP99(cfgs[1], 0)
+	if float64(idleQoS) > 2*float64(idleBase) {
+		t.Errorf("QoS config slower when unloaded: %v vs %v", idleQoS, idleBase)
+	}
+}

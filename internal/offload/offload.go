@@ -4,10 +4,16 @@
 //
 // The package encodes the paper's software guidelines as policy rather than
 // code: G1 (batch small transfers) lives in the AutoBatcher, G2 (offload
-// asynchronously; below ~4 KB prefer the core) in Policy.OffloadThreshold,
-// and the placement findings of Figs 5–11 in the NUMALocal and LeastLoaded
-// schedulers. Every operation returns a *Future whose Wait(p, mode) unifies
-// the sync, async, poll, UMWAIT, and interrupt completion paths.
+// asynchronously; below ~4 KB prefer the core) in Policy.OffloadThreshold —
+// made dynamic by Policy.AdaptiveThreshold, which feeds WQ occupancy and
+// completion-latency history back into the Auto-path decision — and the
+// placement findings of Figs 5–11 in the NUMALocal and LeastLoaded
+// schedulers. The §3.4 F3 QoS findings live in qos.go: tenants carry a
+// QoSClass, the PriorityAware scheduler reserves the highest-priority WQ
+// per socket for latency-sensitive tenants, and per-tenant token buckets
+// (Policy.AdmitRate) keep bulk bursts from starving shared-WQ slots. Every
+// operation returns a *Future whose Wait(p, mode) unifies the sync, async,
+// poll, UMWAIT, and interrupt completion paths.
 //
 //	svc, _ := offload.NewService(e, sys, wqs, offload.WithScheduler(offload.NewNUMALocal()))
 //	tn, _ := svc.NewTenant(offload.OnSocket(0))
@@ -40,6 +46,15 @@ type Service struct {
 	// maxBatch caches the smallest device batch limit among the WQs (an
 	// AutoBatcher flush bound); recomputed on AddWQs.
 	maxBatch int
+
+	// latFloor is the best (smallest) per-WQ completion-latency EWMA the
+	// service has observed — the unloaded-device reference that Pressure
+	// measures latency inflation against. pressure memoizes the estimate
+	// for one virtual instant (path decisions read it repeatedly).
+	latFloor   sim.Time
+	pressure   float64
+	pressureAt sim.Time
+	pressureOK bool
 
 	nextPASID int
 	nextCore  int
@@ -136,6 +151,7 @@ func (sv *Service) NewTenant(opts ...TenantOption) (*Tenant, error) {
 		S:       sv,
 		AS:      as,
 		Core:    core,
+		class:   cfg.class,
 		policy:  cfg.policy,
 		clients: make(map[*dsa.WQ]*dsa.Client),
 	}
@@ -155,6 +171,7 @@ func (sv *Service) NewTenant(opts ...TenantOption) (*Tenant, error) {
 // tenantCfg collects tenant options.
 type tenantCfg struct {
 	socket int
+	class  QoSClass
 	as     *mem.AddressSpace
 	core   *cpu.Core
 	policy Policy
@@ -165,6 +182,11 @@ type TenantOption func(*tenantCfg)
 
 // OnSocket places the tenant's core (and default allocations) on a socket.
 func OnSocket(s int) TenantOption { return func(c *tenantCfg) { c.socket = s } }
+
+// WithClass sets the tenant's QoS class (default Bulk). QoS-aware
+// schedulers reserve the highest-priority WQ per socket for
+// LatencySensitive tenants.
+func WithClass(class QoSClass) TenantOption { return func(c *tenantCfg) { c.class = class } }
 
 // SharedSpace makes the tenant submit from an existing address space
 // instead of allocating a fresh PASID (threads of one process).

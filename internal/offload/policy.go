@@ -27,6 +27,30 @@ type Policy struct {
 	// places the synchronous crossover near 4 KB (Fig 2a).
 	OffloadThreshold int64
 
+	// AdaptiveThreshold makes the G2 floor dynamic: WQ occupancy and
+	// completion-latency history feed back into the Auto-path decision, so
+	// a saturated device raises the effective threshold (shedding small
+	// operations to the cores) and an idle one lowers it. See
+	// Tenant.EffectiveThreshold and Service.Pressure.
+	AdaptiveThreshold bool
+
+	// AdmitRate, when positive, rate-limits this tenant's hardware
+	// submissions with a token bucket: tokens accrue at AdmitRate per
+	// second of virtual time, and each work or batch-parent descriptor
+	// costs one. Zero (the default) disables admission control. This is
+	// the shared-WQ fairness knob: a bulk tenant's burst is shed or
+	// delayed before it occupies slots a latency-sensitive tenant needs.
+	AdmitRate float64
+
+	// AdmitBurst is the bucket capacity — the submissions a tenant may
+	// issue back-to-back before the rate applies. Values below 1 act as 1.
+	AdmitBurst int
+
+	// AdmitWait selects the over-limit behavior: false (default) sheds the
+	// submission with ErrAdmission; true delays the submitting process
+	// until a token accrues (backpressure instead of load shedding).
+	AdmitWait bool
+
 	// AutoBatch, when positive, enables transparent coalescing (G1): Auto-
 	// path copies and fills below OffloadThreshold queue in the tenant's
 	// AutoBatcher and flush as one batch descriptor once AutoBatch
@@ -48,8 +72,9 @@ type Policy struct {
 	Flags dsa.Flags
 }
 
-// DefaultPolicy returns the guideline defaults: 4 KB offload threshold,
-// auto-batching off, polled completions, block-until-accepted submission.
+// DefaultPolicy returns the guideline defaults: static 4 KB offload
+// threshold, auto-batching off, polled completions, block-until-accepted
+// submission, admission control off.
 func DefaultPolicy() Policy {
 	return Policy{
 		OffloadThreshold: 4096,
@@ -68,4 +93,6 @@ type Stats struct {
 	Batches  int64 // batch descriptors submitted (explicit and auto)
 	Coalesce int64 // operations absorbed into auto-batches
 	Failures int64 // submissions or completions that returned errors
+	Shed     int64 // hardware submissions rejected by admission control
+	Delayed  int64 // hardware submissions delayed by admission control
 }

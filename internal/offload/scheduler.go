@@ -4,21 +4,32 @@ import (
 	"dsasim/internal/dsa"
 )
 
+// Request describes one hardware submission to the scheduler: the
+// submitting tenant's socket, its QoS class, and the descriptor payload
+// size (zero for batch parents). Schedulers are free to ignore any field.
+type Request struct {
+	Socket int
+	Class  QoSClass
+	Size   int64
+}
+
 // Scheduler picks the work queue for one submission. Implementations see
-// the submitting tenant's socket and the service's full WQ set; they are
+// the full request context and the service's WQ set; they are
 // simulation-domain objects (no locking needed).
 //
-// The three built-ins ladder up the paper's placement findings: RoundRobin
-// is the blind spreading the old per-thread executor did; NUMALocal honors
+// The built-ins ladder up the paper's placement findings: RoundRobin is
+// the blind spreading the old per-thread executor did; NUMALocal honors
 // Fig 6a (a same-socket device avoids the UPI crossing that roughly halves
 // throughput); LeastLoaded honors Figs 4/9 (WQ backlog, not device count,
-// bounds completion latency under asymmetric load).
+// bounds completion latency under asymmetric load); PriorityAware adds the
+// §3.4 F3 QoS dimension, reserving the highest-priority WQ per socket for
+// latency-sensitive tenants (see qos.go).
 type Scheduler interface {
 	// Name identifies the policy in reports and experiment tables.
 	Name() string
-	// Pick returns the submission target for a tenant on the given socket.
-	// wqs is non-empty; Pick must return one of its elements.
-	Pick(socket int, wqs []*dsa.WQ) *dsa.WQ
+	// Pick returns the submission target for the request. wqs is
+	// non-empty; Pick must return one of its elements.
+	Pick(req Request, wqs []*dsa.WQ) *dsa.WQ
 }
 
 // RoundRobin cycles through every WQ regardless of locality or load — the
@@ -34,9 +45,11 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (r *RoundRobin) Name() string { return "round-robin" }
 
 // Pick implements Scheduler.
-func (r *RoundRobin) Pick(socket int, wqs []*dsa.WQ) *dsa.WQ {
+func (r *RoundRobin) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
 	wq := wqs[r.next%len(wqs)]
-	r.next++
+	// Wrap instead of growing forever: a long simulation would otherwise
+	// overflow the counter (and modulo of a negative index panics).
+	r.next = (r.next + 1) % len(wqs)
 	return wq
 }
 
@@ -54,18 +67,10 @@ func NewNUMALocal() *NUMALocal { return &NUMALocal{next: make(map[int]int)} }
 func (s *NUMALocal) Name() string { return "numa-local" }
 
 // Pick implements Scheduler.
-func (s *NUMALocal) Pick(socket int, wqs []*dsa.WQ) *dsa.WQ {
-	var local []*dsa.WQ
-	for _, wq := range wqs {
-		if wq.Dev.Cfg.Socket == socket {
-			local = append(local, wq)
-		}
-	}
-	if len(local) == 0 {
-		local = wqs
-	}
-	wq := local[s.next[socket]%len(local)]
-	s.next[socket]++
+func (s *NUMALocal) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
+	local := localWQs(req.Socket, wqs)
+	wq := local[s.next[req.Socket]%len(local)]
+	s.next[req.Socket] = (s.next[req.Socket] + 1) % len(local)
 	return wq
 }
 
@@ -84,11 +89,32 @@ func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
 func (s *LeastLoaded) Name() string { return "least-loaded" }
 
 // Pick implements Scheduler.
-func (s *LeastLoaded) Pick(socket int, wqs []*dsa.WQ) *dsa.WQ {
-	s.next++
-	best := wqs[s.next%len(wqs)]
+func (s *LeastLoaded) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
+	s.next = (s.next + 1) % len(wqs)
+	return leastLoadedOf(wqs, s.next)
+}
+
+// localWQs returns the subset of wqs on the given socket, or wqs itself
+// when the socket has no local device (the UPI-crossing fallback).
+func localWQs(socket int, wqs []*dsa.WQ) []*dsa.WQ {
+	var local []*dsa.WQ
+	for _, wq := range wqs {
+		if wq.Dev.Cfg.Socket == socket {
+			local = append(local, wq)
+		}
+	}
+	if len(local) == 0 {
+		return wqs
+	}
+	return local
+}
+
+// leastLoadedOf returns the WQ with the fewest occupied entries, scanning
+// from the rotating offset so ties spread round-robin.
+func leastLoadedOf(wqs []*dsa.WQ, offset int) *dsa.WQ {
+	best := wqs[offset%len(wqs)]
 	for i := 1; i < len(wqs); i++ {
-		wq := wqs[(s.next+i)%len(wqs)]
+		wq := wqs[(offset+i)%len(wqs)]
 		if wq.Occupancy() < best.Occupancy() {
 			best = wq
 		}

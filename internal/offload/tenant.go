@@ -1,6 +1,8 @@
 package offload
 
 import (
+	"fmt"
+
 	"dsasim/internal/cpu"
 	"dsasim/internal/dif"
 	"dsasim/internal/dsa"
@@ -18,7 +20,9 @@ type Tenant struct {
 	AS   *mem.AddressSpace
 	Core *cpu.Core
 
+	class   QoSClass
 	policy  Policy
+	bucket  tokenBucket
 	batcher *AutoBatcher
 	clients map[*dsa.WQ]*dsa.Client
 	stats   Stats
@@ -28,8 +32,12 @@ type Tenant struct {
 func (t *Tenant) Policy() Policy { return t.policy }
 
 // SetPolicy replaces the tenant's policy (taking effect on the next
-// operation; a pending auto-batch keeps its queued descriptors).
+// operation; a pending auto-batch keeps its queued descriptors, and the
+// admission bucket keeps its accrued tokens).
 func (t *Tenant) SetPolicy(p Policy) { t.policy = p }
+
+// Class returns the tenant's QoS class.
+func (t *Tenant) Class() QoSClass { return t.class }
 
 // Stats returns a copy of the tenant counters.
 func (t *Tenant) Stats() Stats { return t.stats }
@@ -101,7 +109,8 @@ func opCfg(opts []OpOption) submitCfg {
 	return c
 }
 
-// useHW resolves the path decision for an n-byte operation.
+// useHW resolves the path decision for an n-byte operation against the
+// effective (possibly pressure-adapted) threshold.
 func (t *Tenant) useHW(c submitCfg, n int64) bool {
 	switch c.path {
 	case Hardware:
@@ -109,7 +118,7 @@ func (t *Tenant) useHW(c submitCfg, n int64) bool {
 	case Software:
 		return false
 	default:
-		return n >= t.policy.OffloadThreshold
+		return n >= t.EffectiveThreshold()
 	}
 }
 
@@ -118,16 +127,41 @@ func (t *Tenant) useHW(c submitCfg, n int64) bool {
 // amortizes the offload overhead that otherwise makes small transfers a
 // core job, Fig 3).
 func (t *Tenant) autoBatchable(c submitCfg, n int64) bool {
-	return c.path == Auto && !c.noBatch && t.policy.AutoBatch > 0 && n < t.policy.OffloadThreshold
+	return c.path == Auto && !c.noBatch && t.policy.AutoBatch > 0 && n < t.EffectiveThreshold()
+}
+
+// admit applies the tenant's token bucket to one hardware submission:
+// admitted immediately, delayed until a token accrues (Policy.AdmitWait),
+// or shed with ErrAdmission.
+func (t *Tenant) admit(p *sim.Proc) error {
+	ok, wait := t.bucket.take(p.Now(), t.policy.AdmitRate, t.policy.AdmitBurst)
+	if ok {
+		return nil
+	}
+	if !t.policy.AdmitWait {
+		t.stats.Shed++
+		return fmt.Errorf("offload: tenant over %.0f ops/s (burst %d): %w",
+			t.policy.AdmitRate, t.policy.AdmitBurst, ErrAdmission)
+	}
+	t.stats.Delayed++
+	for !ok {
+		p.Sleep(wait)
+		ok, wait = t.bucket.take(p.Now(), t.policy.AdmitRate, t.policy.AdmitBurst)
+	}
+	return nil
 }
 
 // submit schedules, prepares, and submits one hardware descriptor,
-// returning its Future. Bounded-retry policies surface dsa.ErrWQFull
-// through the error.
+// returning its Future. Admission control runs before WQ selection so a
+// shed or delayed submission never occupies a queue slot; bounded-retry
+// policies surface dsa.ErrWQFull through the error.
 func (t *Tenant) submit(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future, error) {
 	d.PASID = t.AS.PASID
 	d.Flags |= t.policy.Flags | flags
-	wq := t.S.sched.Pick(t.Core.Socket, t.S.wqs)
+	if err := t.admit(p); err != nil {
+		return nil, err
+	}
+	wq := t.S.sched.Pick(Request{Socket: t.Core.Socket, Class: t.class, Size: d.Size}, t.S.wqs)
 	cl := t.client(wq)
 	cl.Prepare(p)
 	start := p.Now()

@@ -12,11 +12,13 @@
 //
 // Work is submitted through the unified offload API (internal/offload): the
 // platform owns an offload.Service whose pluggable Scheduler places each
-// descriptor on a work queue (round-robin, NUMA-local, or least-loaded),
-// and each client of the service is an offload.Tenant — a PASID-bound
-// address space plus a submitting core. Every operation returns a Future;
-// Wait(p, mode) covers the polled, UMWAIT, and interrupt completion paths,
-// and the paper's guidelines are policy: G2's offload threshold and G1's
+// descriptor on a work queue (round-robin, NUMA-local, least-loaded, or
+// the QoS-aware priority scheduler of the SPRQoS profile), and each client
+// of the service is an offload.Tenant — a PASID-bound address space plus a
+// submitting core, carrying a QoS class and an admission-control budget.
+// Every operation returns a Future; Wait(p, mode) covers the polled,
+// UMWAIT, and interrupt completion paths, and the paper's guidelines are
+// policy: G2's offload threshold (static or pressure-adaptive) and G1's
 // small-transfer coalescing (AutoBatcher) live in offload.Policy.
 //
 // Quick start:
@@ -63,6 +65,11 @@ type Profile struct {
 	Devices int
 	// DeviceConfig templates each device (socket/name are overridden).
 	DeviceConfig dsa.Config
+	// WQs overrides the per-device work-queue layout (one group holding
+	// these queues). Empty means the default single 32-entry dedicated WQ.
+	// QoS profiles use this to expose a reserved high-priority WQ next to
+	// a bulk one (§3.4 F3).
+	WQs []idxd.WQSpec
 	// Scheduler builds the offload service's WQ-selection policy
 	// (default: offload.NewRoundRobin).
 	Scheduler func() offload.Scheduler
@@ -90,6 +97,26 @@ func SPR() Profile {
 		Devices:      1,
 		DeviceConfig: dsa.DefaultConfig("dsa", 0),
 	}
+}
+
+// SPRQoS returns the SPR profile configured for QoS-aware offload: each
+// device exposes a small high-priority shared WQ (the express lane the
+// PriorityAware scheduler reserves for latency-sensitive tenants) next to
+// a larger bulk shared WQ, and the default policy adapts the offload
+// threshold to device pressure. Tenants default to the Bulk class; mark
+// foreground tenants with offload.WithClass(offload.LatencySensitive).
+func SPRQoS() Profile {
+	pr := SPR()
+	pr.Name = "SPR-QoS"
+	pr.WQs = []idxd.WQSpec{
+		{Mode: "shared", Size: 8, Priority: 15},
+		{Mode: "shared", Size: 24, Priority: 5},
+	}
+	pr.Scheduler = func() offload.Scheduler { return offload.NewPriorityAware() }
+	pol := offload.DefaultPolicy()
+	pol.AdaptiveThreshold = true
+	pr.Policy = &pol
+	return pr
 }
 
 // ICX returns the Ice Lake predecessor profile: 40 cores, 57 MB LLC, six
@@ -152,11 +179,15 @@ func NewPlatform(pr Profile) *Platform {
 		if err != nil {
 			panic(err)
 		}
+		wqspecs := pr.WQs
+		if len(wqspecs) == 0 {
+			wqspecs = []idxd.WQSpec{{Mode: "dedicated", Size: 32}}
+		}
 		spec := idxd.DeviceSpec{
 			Name: cfg.Name,
 			Groups: []idxd.GroupSpec{{
 				Engines: cfg.Engines,
-				WQs:     []idxd.WQSpec{{Mode: "dedicated", Size: 32}},
+				WQs:     wqspecs,
 			}},
 		}
 		if err := pl.Registry.Configure(spec); err != nil {

@@ -177,6 +177,68 @@ func sprSchedElapsed(t *testing.T, mk func() offload.Scheduler, count int) sim.T
 	return elapsed
 }
 
+// TestSPRQoSProfileWiring checks the QoS profile construction end to end:
+// per-device express + bulk WQ layout, the PriorityAware scheduler, the
+// adaptive-threshold default policy, and class-aware tenant steering.
+func TestSPRQoSProfileWiring(t *testing.T) {
+	pl := NewPlatform(SPRQoS())
+	wqs := pl.Offload.WQs()
+	if len(wqs) != 2 {
+		t.Fatalf("SPRQoS WQs = %d, want 2 (express + bulk)", len(wqs))
+	}
+	var express, rest *dsa.WQ
+	for _, wq := range wqs {
+		if wq.Mode != dsa.Shared {
+			t.Fatalf("SPRQoS WQ %d not shared-mode", wq.ID)
+		}
+		if wq.Priority == 15 {
+			express = wq
+		} else {
+			rest = wq
+		}
+	}
+	if express == nil || rest == nil {
+		t.Fatal("SPRQoS device missing the express/bulk WQ split")
+	}
+	if got := pl.Offload.Scheduler().Name(); got != "priority-aware" {
+		t.Fatalf("scheduler = %q, want priority-aware", got)
+	}
+	if !pl.Offload.Policy().AdaptiveThreshold {
+		t.Fatal("SPRQoS default policy should adapt the offload threshold")
+	}
+	fg := pl.NewTenant(offload.WithClass(offload.LatencySensitive))
+	bg := pl.NewTenant()
+	n := int64(64 << 10)
+	fsrc, fdst := fg.Alloc(n), fg.Alloc(n)
+	bsrc, bdst := bg.Alloc(n), bg.Alloc(n)
+	pl.Run(func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			ff, err := fg.Copy(p, fdst.Addr(0), fsrc.Addr(0), n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bf, err := bg.Copy(p, bdst.Addr(0), bsrc.Addr(0), n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ff.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+			}
+			if _, err := bf.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if express.Submitted() != 4 {
+		t.Errorf("express WQ saw %d descriptors, want the 4 latency-sensitive ops", express.Submitted())
+	}
+	if rest.Submitted() != 4 {
+		t.Errorf("bulk WQ saw %d descriptors, want the 4 bulk ops", rest.Submitted())
+	}
+}
+
 // Scheduler comparison on the real SPR profile with one device per socket:
 // NUMA-local placement must deliver at least round-robin's throughput for
 // a socket-local workload (Fig 6a's remote-placement penalty).
