@@ -66,6 +66,7 @@ func BenchmarkFig19CacheLib(b *testing.B)        { benchExperiment(b, "fig19", "
 func BenchmarkFig21SPDK(b *testing.B)            { benchExperiment(b, "fig21", "rel_max") }
 func BenchmarkSchedComparison(b *testing.B)      { benchExperiment(b, "sched", "GBps_max") }
 func BenchmarkQoSInterference(b *testing.B)      { benchExperiment(b, "qos", "p99us_max") }
+func BenchmarkPlacementComparison(b *testing.B)  { benchExperiment(b, "placement", "GBps_max") }
 
 // Device micro-benchmarks: virtual-time throughput of the model itself.
 // b.SetBytes reflects simulated payload per iteration, so MB/s measures

@@ -8,6 +8,7 @@
 //	dsa-bench -list            # list experiment ids
 //	dsa-bench -run fig3,fig10  # run a subset
 //	dsa-bench -csv dir         # also write one CSV per table into dir
+//	dsa-bench -json dir        # also write one BENCH_<id>.json per experiment
 package main
 
 import (
@@ -19,12 +20,14 @@ import (
 	"time"
 
 	"dsasim/internal/exp"
+	"dsasim/internal/report"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
+	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<id>.json files")
 	flag.Parse()
 
 	if *list {
@@ -48,10 +51,12 @@ func main() {
 		}
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -67,6 +72,18 @@ func main() {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
+			}
+		}
+		if *jsonDir != "" {
+			data, err := report.MarshalBench(e.ID, e.Title, tables)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
 		}
 	}

@@ -51,8 +51,9 @@ func All() []Experiment {
 		{"fig18", "Fig 18: BERT phase timings", Fig18},
 		{"fig19", "Fig 19: CacheLib rates and tail latency", Fig19},
 		{"fig21", "Fig 21: SPDK NVMe/TCP target IOPS", Fig21},
-		{"sched", "Offload scheduler comparison (round-robin vs NUMA-local vs least-loaded)", Sched},
+		{"sched", "Offload scheduler comparison (round-robin vs NUMA-local vs least-loaded vs placement)", Sched},
 		{"qos", "QoS scheduling: latency-sensitive p99 under bulk interference (§3.4 F3)", QoS},
+		{"placement", "Data-home placement: CXL/NUMA-aware routing and batch splitting (G4)", Placement},
 	}
 }
 

@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"fmt"
+
+	"dsasim/internal/cpu"
+	"dsasim/internal/dsa"
+	"dsasim/internal/offload"
+	"dsasim/internal/report"
+	"dsasim/internal/sim"
+)
+
+// Placement compares tenant-socket routing (NUMALocal) against data-home
+// routing (the Placement scheduler) on a two-socket SPR system with one
+// DSA per socket and a CXL expander on socket 0 (G4, Figs 6a/6b):
+//
+//   - local: tenant and data on socket 0 — every policy agrees (the
+//     ~27 GB/s device-fabric ceiling anchors the scale).
+//   - xsock: two tenants whose data is homed on the *other* socket.
+//     NUMALocal keeps each tenant on its own socket's device, so every
+//     byte crosses UPI twice (once per leg) and the shared link halves
+//     aggregate throughput (Fig 6a); Placement follows the data and never
+//     touches UPI.
+//   - cxl-mix: tiered-memory flush cycles whose batches mix socket-0
+//     compaction, socket-1 compaction, and DRAM↔CXL migration. NUMALocal
+//     (and Placement without splitting) serializes each flush behind one
+//     device fabric; splitting shards it into per-socket sub-batches that
+//     run on both devices in parallel.
+//   - demote/promote: DRAM↔CXL streams with both ends on socket 0 — the
+//     CXL pipes bound throughput wherever the device sits (Fig 6b), so
+//     the policies tie and the rows anchor the media crossover.
+func Placement() []*report.Table {
+	t := report.New("placement", "Data-home placement: 2 sockets, 1 DSA each, CXL on socket 0", "workload", "GB/s")
+	for i, wl := range placementWorkloads() {
+		for _, cfg := range placementConfigs() {
+			t.SetNamed(cfg.name, wl.name, float64(i), placementThroughput(cfg, wl))
+		}
+	}
+	t.Note("xsock: routing on the data's home instead of the tenant's socket keeps both legs off UPI (Fig 6a, G4)")
+	t.Note("cxl-mix: splitting a mixed-home batch puts each slice on its local device and runs the devices in parallel")
+	t.Note("demote/promote: the CXL pipes bound throughput wherever the device sits (Fig 6b)")
+	return []*report.Table{t}
+}
+
+// placementCfg is one scheduler series of the sweep.
+type placementCfg struct {
+	name  string
+	sched func() offload.Scheduler
+	split bool
+}
+
+// placementConfigs returns the compared policies: the NUMALocal baseline,
+// data-home routing without batch splitting, and the full placement path.
+func placementConfigs() []placementCfg {
+	return []placementCfg{
+		{name: "numa-local", sched: func() offload.Scheduler { return offload.NewNUMALocal() }},
+		{name: "placement-nosplit", sched: func() offload.Scheduler { return offload.NewPlacement() }},
+		{name: "placement", sched: func() offload.Scheduler { return offload.NewPlacement() }, split: true},
+	}
+}
+
+// placementWorkload drives one traffic pattern on the prepared service,
+// running the engine to completion, and returns the payload bytes moved
+// and the finish instant.
+type placementWorkload struct {
+	name string
+	run  func(e *sim.Engine, svc *offload.Service) (int64, sim.Time)
+}
+
+// placementWorkloads returns the sweep's traffic patterns. Node ids follow
+// the SPR layout: 0 = socket-0 DRAM, 1 = socket-1 DRAM, 2 = CXL (socket 0).
+func placementWorkloads() []placementWorkload {
+	return []placementWorkload{
+		{name: "local", run: func(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
+			return copyStreams(e, svc, []copyStream{{tenantSocket: 0, srcNode: 0, dstNode: 0, size: 256 << 10, count: 40}})
+		}},
+		{name: "xsock", run: func(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
+			return copyStreams(e, svc, []copyStream{
+				{tenantSocket: 0, srcNode: 1, dstNode: 1, size: 256 << 10, count: 40},
+				{tenantSocket: 1, srcNode: 0, dstNode: 0, size: 256 << 10, count: 40},
+			})
+		}},
+		{name: "cxl-mix", run: mixedMigrationBatches},
+		{name: "demote", run: func(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
+			return copyStreams(e, svc, []copyStream{{tenantSocket: 0, srcNode: 0, dstNode: 2, size: 1 << 20, count: 12}})
+		}},
+		{name: "promote", run: func(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
+			return copyStreams(e, svc, []copyStream{{tenantSocket: 0, srcNode: 2, dstNode: 0, size: 1 << 20, count: 12}})
+		}},
+	}
+}
+
+// copyStream is one tenant streaming synchronous hardware copies.
+type copyStream struct {
+	tenantSocket     int
+	srcNode, dstNode int
+	size             int64
+	count            int
+}
+
+// copyStreams runs every stream concurrently and returns the aggregate
+// bytes and the instant the last stream finished.
+func copyStreams(e *sim.Engine, svc *offload.Service, streams []copyStream) (int64, sim.Time) {
+	var total int64
+	var end sim.Time
+	for i, s := range streams {
+		s := s
+		tn, err := svc.NewTenant(offload.OnSocket(s.tenantSocket))
+		if err != nil {
+			panic(err)
+		}
+		src := tn.AllocOn(s.srcNode, s.size)
+		dst := tn.AllocOn(s.dstNode, s.size)
+		total += s.size * int64(s.count)
+		e.Go(fmt.Sprintf("stream%d", i), func(p *sim.Proc) {
+			for k := 0; k < s.count; k++ {
+				f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), s.size, offload.On(offload.Hardware))
+				if err != nil {
+					panic(err)
+				}
+				if _, err := f.Wait(p, offload.Poll); err != nil {
+					panic(err)
+				}
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	e.Run()
+	return total, end
+}
+
+// mixedMigrationBatches models a tiered-memory manager's flush cycle: each
+// batch compacts six 1 MB regions within each socket's DRAM and migrates
+// two cold/hot 128 KB regions between socket-0 DRAM and CXL. The homes
+// mix, so a data-aware scheduler with splitting shards every flush across
+// both devices, while a single-WQ policy serializes ~12.5 MB behind one
+// device fabric (and pushes the socket-1 slice through UPI twice).
+func mixedMigrationBatches(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
+	const (
+		batches   = 6
+		compacts  = 6 // per socket, 1 MB each
+		compactSz = int64(1 << 20)
+		migrates  = 2 // demote + promote, 128 KB each
+		migrateSz = int64(128 << 10)
+	)
+	tn, err := svc.NewTenant(offload.OnSocket(0))
+	if err != nil {
+		panic(err)
+	}
+	s1src := tn.AllocOn(1, compacts*compactSz)
+	s1dst := tn.AllocOn(1, compacts*compactSz)
+	s0src := tn.AllocOn(0, compacts*compactSz)
+	s0dst := tn.AllocOn(0, compacts*compactSz)
+	demoteSrc := tn.AllocOn(0, migrateSz)
+	demoteDst := tn.AllocOn(2, migrateSz)
+	promoteSrc := tn.AllocOn(2, migrateSz)
+	promoteDst := tn.AllocOn(0, migrateSz)
+
+	perBatch := 2*compacts*compactSz + int64(migrates)*migrateSz
+	var end sim.Time
+	e.Go("migrator", func(p *sim.Proc) {
+		for i := 0; i < batches; i++ {
+			b := tn.NewBatch()
+			// Socket-1 compaction first: a data-blind (or no-split) policy
+			// then routes the whole flush by the tenant's socket or the
+			// first child's home — one device either way.
+			for j := int64(0); j < compacts; j++ {
+				b.Copy(s1dst.Addr(j*compactSz), s1src.Addr(j*compactSz), compactSz)
+				b.Copy(s0dst.Addr(j*compactSz), s0src.Addr(j*compactSz), compactSz)
+			}
+			b.Copy(demoteDst.Addr(0), demoteSrc.Addr(0), migrateSz)
+			b.Copy(promoteDst.Addr(0), promoteSrc.Addr(0), migrateSz)
+			f, err := b.Submit(p)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				panic(err)
+			}
+		}
+		end = p.Now()
+	})
+	e.Run()
+	return int64(batches) * perBatch, end
+}
+
+// placementThroughput measures aggregate GB/s of the workload under cfg on
+// the two-device SPR system.
+func placementThroughput(cfg placementCfg, wl placementWorkload) float64 {
+	e := sim.New()
+	sys := sprSystem(e)
+	var wqs []*dsa.WQ
+	for s := 0; s < 2; s++ {
+		dev := dsa.New(e, sys, dsa.DefaultConfig("dsa", s))
+		if _, err := dev.AddGroup(dsa.GroupConfig{
+			Engines: 4,
+			WQs:     []dsa.WQConfig{{Mode: dsa.Dedicated, Size: 32}},
+		}); err != nil {
+			panic(err)
+		}
+		if err := dev.Enable(); err != nil {
+			panic(err)
+		}
+		wqs = append(wqs, dev.WQs()...)
+	}
+	pol := offload.DefaultPolicy()
+	pol.SplitBatches = cfg.split
+	svc, err := offload.NewService(e, sys, wqs,
+		offload.WithScheduler(cfg.sched()), offload.WithPolicy(pol), offload.WithCPUModel(cpu.SPRModel()))
+	if err != nil {
+		panic(err)
+	}
+	bytes, end := wl.run(e, svc)
+	return sim.Rate(bytes, end)
+}

@@ -1,0 +1,53 @@
+package exp
+
+import "testing"
+
+// The PR's acceptance experiment: data-home routing plus batch splitting
+// must beat tenant-socket routing where data and tenant part ways, and
+// must never lose where they coincide.
+func TestPlacementBeatsNUMALocal(t *testing.T) {
+	cfgs := placementConfigs()
+	if cfgs[0].name != "numa-local" || cfgs[1].name != "placement-nosplit" || cfgs[2].name != "placement" {
+		t.Fatalf("unexpected config order: %q, %q, %q", cfgs[0].name, cfgs[1].name, cfgs[2].name)
+	}
+	measure := func(wlName string, cfg placementCfg) float64 {
+		t.Helper()
+		for _, wl := range placementWorkloads() {
+			if wl.name == wlName {
+				return placementThroughput(cfg, wl)
+			}
+		}
+		t.Fatalf("no workload %q", wlName)
+		return 0
+	}
+
+	// Cross-socket traffic: NUMALocal pays UPI on both legs of every copy
+	// (Fig 6a halves throughput); Placement follows the data.
+	baseX := measure("xsock", cfgs[0])
+	placeX := measure("xsock", cfgs[2])
+	if placeX < 1.5*baseX {
+		t.Errorf("xsock: placement %.2f GB/s not ≥1.5x numa-local %.2f GB/s", placeX, baseX)
+	}
+
+	// CXL-mixed migration flushes: the split shards each batch across both
+	// devices; routing alone (nosplit) cannot, so it must be the split
+	// that buys the win.
+	baseM := measure("cxl-mix", cfgs[0])
+	nosplitM := measure("cxl-mix", cfgs[1])
+	placeM := measure("cxl-mix", cfgs[2])
+	if placeM < 1.5*baseM {
+		t.Errorf("cxl-mix: placement %.2f GB/s not ≥1.5x numa-local %.2f GB/s", placeM, baseM)
+	}
+	if placeM < 1.3*nosplitM {
+		t.Errorf("cxl-mix: split %.2f GB/s not ≥1.3x nosplit %.2f GB/s", placeM, nosplitM)
+	}
+
+	// Where tenant and data agree, data-home routing must cost nothing.
+	for _, wl := range []string{"local", "demote", "promote"} {
+		base := measure(wl, cfgs[0])
+		place := measure(wl, cfgs[2])
+		if place < 0.95*base {
+			t.Errorf("%s: placement %.2f GB/s regressed vs numa-local %.2f GB/s", wl, place, base)
+		}
+	}
+}

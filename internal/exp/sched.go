@@ -19,7 +19,9 @@ import (
 // on its own socket's device; least-loaded sits between (at queue depth 1
 // occupancy never differentiates the queues, so its tie-break alternates
 // like round-robin — it pulls ahead only under backlog, see the offload
-// package tests).
+// package tests); placement routes on the data's home, which for
+// socket-local buffers coincides with NUMA-local (its advantage appears
+// when data and tenant part ways — see the placement experiment).
 func Sched() []*report.Table {
 	t := report.New("sched", "Offload scheduler comparison: 2 sockets, 1 DSA each, socket-local tenant", "xfer", "GB/s")
 	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
@@ -27,6 +29,7 @@ func Sched() []*report.Table {
 		func() offload.Scheduler { return offload.NewRoundRobin() },
 		func() offload.Scheduler { return offload.NewNUMALocal() },
 		func() offload.Scheduler { return offload.NewLeastLoaded() },
+		func() offload.Scheduler { return offload.NewPlacement() },
 	}
 	for _, mk := range scheds {
 		for _, size := range sizes {

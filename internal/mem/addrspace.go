@@ -107,6 +107,28 @@ func align(a, to Addr) Addr {
 	return (a + to - 1) / to * to
 }
 
+// NodeAt returns the home NUMA node of the buffer containing addr, or nil
+// when addr is unmapped or the buffer was allocated without placement. It
+// is the submission hot path's data-home lookup — called once or twice per
+// descriptor — so it is allocation-free: a manual binary search instead of
+// Lookup's error-wrapping path.
+func (as *AddressSpace) NodeAt(addr Addr) *Node {
+	lo, hi := 0, len(as.regions)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		r := as.regions[mid]
+		if addr >= r.Base+Addr(r.Size) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(as.regions) || addr < as.regions[lo].Base {
+		return nil
+	}
+	return as.regions[lo].Node
+}
+
 // Lookup resolves addr to its containing buffer and the offset within it.
 func (as *AddressSpace) Lookup(addr Addr) (*Buffer, int64, error) {
 	i := sort.Search(len(as.regions), func(i int) bool {

@@ -51,6 +51,11 @@ type Node struct {
 	ReadLat  time.Duration
 	WriteLat time.Duration
 
+	// readGBps and writeGBps record the configured pipe rates, exposed to
+	// placement policies that compare media (DRAM vs CXL write speed, G4).
+	readGBps  float64
+	writeGBps float64
+
 	// read and write are the node's bandwidth pipes. Reads and writes use
 	// separate pipes: CXL memory in particular has asymmetric read/write
 	// bandwidth (Fig 6b), and DRAM write traffic competes with reads only
@@ -68,6 +73,12 @@ type NodeConfig struct {
 	ReadGBps  float64
 	WriteGBps float64
 }
+
+// ReadGBps returns the node's configured read bandwidth.
+func (n *Node) ReadGBps() float64 { return n.readGBps }
+
+// WriteGBps returns the node's configured write bandwidth.
+func (n *Node) WriteGBps() float64 { return n.writeGBps }
 
 // ReserveRead books n bytes of read traffic at the node and returns the
 // completion instant under current contention.

@@ -40,6 +40,61 @@ func TestAllocAndRoundTrip(t *testing.T) {
 	}
 }
 
+func TestNodeAtResolvesHomeNode(t *testing.T) {
+	e := sim.New()
+	sys := testSystem(e)
+	as := NewAddressSpace(1)
+	dram := as.Alloc(8192, OnNode(sys.Node(1)))
+	cxl := as.Alloc(4096, OnNode(sys.Node(2)))
+	bare := as.Alloc(4096) // no placement
+	if n := as.NodeAt(dram.Addr(0)); n != sys.Node(1) {
+		t.Fatalf("NodeAt(dram base) = %v, want node 1", n)
+	}
+	if n := as.NodeAt(dram.Addr(8191)); n != sys.Node(1) {
+		t.Fatalf("NodeAt(dram last byte) = %v, want node 1", n)
+	}
+	if n := as.NodeAt(cxl.Addr(100)); n != sys.Node(2) {
+		t.Fatalf("NodeAt(cxl) = %v, want node 2", n)
+	}
+	if n := as.NodeAt(bare.Addr(0)); n != nil {
+		t.Fatalf("NodeAt(unplaced buffer) = %v, want nil", n)
+	}
+	if n := as.NodeAt(Addr(0x10)); n != nil {
+		t.Fatalf("NodeAt(unmapped) = %v, want nil", n)
+	}
+}
+
+func TestNodeAtZeroAllocs(t *testing.T) {
+	e := sim.New()
+	sys := testSystem(e)
+	as := NewAddressSpace(1)
+	var addrs []Addr
+	for i := 0; i < 16; i++ {
+		addrs = append(addrs, as.Alloc(4096, OnNode(sys.Node(i%3))).Addr(1))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, a := range addrs {
+			if as.NodeAt(a) == nil {
+				t.Fatal("mapped address resolved to nil node")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("NodeAt allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestNodeBandwidthAccessors(t *testing.T) {
+	e := sim.New()
+	sys := testSystem(e)
+	if got := sys.Node(0).WriteGBps(); got != 75 {
+		t.Fatalf("DRAM WriteGBps = %v, want 75", got)
+	}
+	if got := sys.Node(2).ReadGBps(); got != 16 {
+		t.Fatalf("CXL ReadGBps = %v, want 16", got)
+	}
+}
+
 func TestLookupUnmappedFails(t *testing.T) {
 	as := NewAddressSpace(1)
 	as.Alloc(4096)

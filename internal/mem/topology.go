@@ -68,13 +68,15 @@ func (s *System) AddNode(nc NodeConfig) *Node {
 		panic(fmt.Sprintf("mem: node socket %d out of range", nc.Socket))
 	}
 	n := &Node{
-		ID:       len(s.Nodes),
-		Socket:   nc.Socket,
-		Kind:     nc.Kind,
-		ReadLat:  nc.ReadLat,
-		WriteLat: nc.WriteLat,
-		read:     sim.NewPipe(s.E, nc.ReadGBps),
-		write:    sim.NewPipe(s.E, nc.WriteGBps),
+		ID:        len(s.Nodes),
+		Socket:    nc.Socket,
+		Kind:      nc.Kind,
+		ReadLat:   nc.ReadLat,
+		WriteLat:  nc.WriteLat,
+		readGBps:  nc.ReadGBps,
+		writeGBps: nc.WriteGBps,
+		read:      sim.NewPipe(s.E, nc.ReadGBps),
+		write:     sim.NewPipe(s.E, nc.WriteGBps),
 	}
 	s.Nodes = append(s.Nodes, n)
 	sock := s.Sockets[nc.Socket]

@@ -78,6 +78,14 @@ func (b *Batch) Fence() *Batch {
 // Submit sends the batch through the scheduler and returns the in-flight
 // Future. A batch needs at least two descriptors (device rule);
 // single-entry batches are submitted as plain descriptors.
+//
+// Under a data-aware scheduler (Placement), a batch whose descriptors are
+// homed on different sockets is sharded into per-socket sub-batches, each
+// submitted to a device local to its slice's data; the returned Future
+// joins the sub-batch completions (Wait drains each once, the first error
+// wins). When a later sub-batch fails to submit, the Future is still
+// returned alongside the error so the already-submitted slices can be
+// drained.
 func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
 	switch len(b.descs) {
 	case 0:
@@ -88,18 +96,79 @@ func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
 		b.descs = nil
 		return b.t.submit(p, d, b.flags)
 	default:
-		b.t.stats.Batches++
 		descs := b.descs
 		b.descs = nil
-		f, err := b.t.submit(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, b.flags)
-		if err == nil {
-			// The OpBatch parent carries Size 0; account the payload.
-			for _, d := range descs {
-				b.t.stats.HWBytes += d.Size
-			}
+		groups := b.t.splitByHome(descs)
+		if groups == nil {
+			return b.t.submitSlice(p, descs, b.flags)
 		}
-		return f, err
+		b.t.stats.Splits += int64(len(groups))
+		parts := make([]*Future, 0, len(groups))
+		for _, idx := range groups {
+			sub := make([]dsa.Descriptor, len(idx))
+			for j, i := range idx {
+				sub[j] = descs[i]
+			}
+			f, err := b.t.submitSlice(p, sub, b.flags)
+			if err != nil {
+				parts = append(parts, completed(Result{}, err))
+				return joinFutures(parts), err
+			}
+			parts = append(parts, f)
+		}
+		return joinFutures(parts), nil
 	}
+}
+
+// submitSlice submits one run of descriptors as a batch parent (or, for a
+// single descriptor, as a plain submission — the device's ≥2 rule).
+func (t *Tenant) submitSlice(p *sim.Proc, descs []dsa.Descriptor, flags dsa.Flags) (*Future, error) {
+	t.stats.Batches++
+	if len(descs) == 1 {
+		return t.submit(p, descs[0], flags)
+	}
+	f, err := t.submit(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, flags)
+	if err == nil {
+		// The OpBatch parent carries Size 0; account the payload.
+		for _, d := range descs {
+			t.stats.HWBytes += d.Size
+		}
+	}
+	return f, err
+}
+
+// splitByHome groups descriptors into per-socket sub-batches by data home
+// (Tenant.dataHome), returning index groups in first-seen order, with
+// submission order preserved inside each group. It returns nil — submit as
+// one batch — when splitting is disabled (Policy.SplitBatches), the active
+// scheduler is not data-aware (a blind policy would route every sub-batch
+// to the same device, making the split pure parent overhead), the batch
+// carries a Fence (fences order descriptors across the whole batch, which
+// independent devices cannot honor), or every descriptor shares a home.
+func (t *Tenant) splitByHome(descs []dsa.Descriptor) [][]int {
+	if !t.policy.SplitBatches || !t.S.dataAware {
+		return nil
+	}
+	var groups [][]int
+	bySocket := make(map[int]int, 2)
+	for i := range descs {
+		d := &descs[i]
+		if d.Flags&dsa.FlagFence != 0 || d.Op == dsa.OpNop {
+			return nil
+		}
+		home := t.dataHome(d)
+		g, ok := bySocket[home]
+		if !ok {
+			g = len(groups)
+			bySocket[home] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	if len(groups) < 2 {
+		return nil
+	}
+	return groups
 }
 
 // AutoBatcher transparently coalesces sub-threshold Auto-path copies and
@@ -154,9 +223,14 @@ func (ab *AutoBatcher) add(p *sim.Proc, d dsa.Descriptor) (*Future, error) {
 	return f, nil
 }
 
-// Flush submits the queued operations as one batch descriptor and binds
-// every pending Future to the batch completion. On submission failure all
-// pending Futures resolve with the error.
+// Flush submits the queued operations and binds every pending Future to
+// its batch completion. Under a data-aware scheduler a mixed-home flush is
+// sharded into per-socket sub-batches (see Batch.Submit); each sub-batch's
+// futures share one completion, so the wait cost is paid once per
+// sub-batch and a failure resolves only that sub-batch's siblings. On a
+// submission failure the affected futures resolve with the error, the
+// remaining sub-batches are still submitted, and the first error is
+// returned.
 func (ab *AutoBatcher) Flush(p *sim.Proc) error {
 	if len(ab.pending) == 0 {
 		return nil
@@ -166,6 +240,30 @@ func (ab *AutoBatcher) Flush(p *sim.Proc) error {
 	ab.pending = nil
 	ab.futs = nil
 
+	groups := ab.t.splitByHome(descs)
+	if groups == nil {
+		return ab.flushSlice(p, descs, futs)
+	}
+	ab.t.stats.Splits += int64(len(groups))
+	var firstErr error
+	for _, idx := range groups {
+		sub := make([]dsa.Descriptor, len(idx))
+		subFuts := make([]*Future, len(idx))
+		for j, i := range idx {
+			sub[j], subFuts[j] = descs[i], futs[i]
+		}
+		if err := ab.flushSlice(p, sub, subFuts); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushSlice submits one run of coalesced descriptors as a batch (or a
+// plain descriptor when alone) and binds its pending futures to the
+// completion through a shared batchWait. On submission failure the slice's
+// futures resolve with the error.
+func (ab *AutoBatcher) flushSlice(p *sim.Proc, descs []dsa.Descriptor, futs []*Future) error {
 	var parent *Future
 	var err error
 	if len(descs) == 1 {

@@ -49,6 +49,12 @@ type Future struct {
 	// failure counts once toward Stats.Failures.
 	sharedWait *batchWait
 
+	// parts joins the per-socket sub-batches of one split batch
+	// submission (batch.go): the Future is done when every part is, and
+	// Wait drains the parts in turn, paying the wait cost once per
+	// sub-batch.
+	parts []*Future
+
 	done bool
 	res  Result
 	err  error
@@ -58,6 +64,14 @@ type Future struct {
 // auto-batched operation is not done until its batch flushes and finishes.
 func (f *Future) Done() bool {
 	if f.done {
+		return true
+	}
+	if f.parts != nil {
+		for _, part := range f.parts {
+			if !part.Done() {
+				return false
+			}
+		}
 		return true
 	}
 	return f.comp != nil && f.comp.Done()
@@ -71,9 +85,17 @@ func (f *Future) Wait(p *sim.Proc, mode WaitMode) (Result, error) {
 	if f.done {
 		return f.res, f.err
 	}
+	if f.parts != nil {
+		return f.waitParts(p, mode)
+	}
 	if f.ab != nil {
-		if err := f.ab.Flush(p); err != nil {
-			return f.res, f.err // Flush resolved this future with the error
+		// Flush binds this future to its sub-batch parent, or resolves it
+		// when that sub-batch failed to submit; a failure in a *different*
+		// sub-batch of the same flush leaves this future submitted and
+		// waitable, so only f.done decides.
+		f.ab.Flush(p)
+		if f.done {
+			return f.res, f.err
 		}
 	}
 	if f.sharedWait == nil || !f.sharedWait.paid || !f.comp.Done() {
@@ -84,6 +106,57 @@ func (f *Future) Wait(p *sim.Proc, mode WaitMode) (Result, error) {
 	}
 	f.resolve(p.Now() - f.start)
 	return f.res, f.err
+}
+
+// waitParts resolves a joined (split-batch) future: every sub-batch is
+// drained — a later part is not abandoned because an earlier one failed —
+// and the first error wins, keeping that part's completion record. On
+// success the synthesized record counts completed work descriptors
+// (Record.Result), matching what the device reports for an unsplit batch.
+// The future is marked done only after the drain, so a concurrent waiter
+// (or Done poller) never observes a premature success.
+func (f *Future) waitParts(p *sim.Proc, mode WaitMode) (Result, error) {
+	res := Result{Hardware: true}
+	var firstErr error
+	var completed uint64
+	for _, part := range f.parts {
+		pres, err := part.Wait(p, mode)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+				res.Record = pres.Record
+			}
+			continue
+		}
+		if part.op == dsa.OpBatch {
+			// A sub-batch parent's record counts its succeeded children.
+			completed += pres.Record.Result
+		} else {
+			// A lone-descriptor part completed one work descriptor (its
+			// Result field carries op-specific data, not a count).
+			completed++
+		}
+	}
+	if firstErr == nil {
+		res.Record = dsa.CompletionRecord{Status: dsa.StatusSuccess, Result: completed}
+	}
+	res.Duration = p.Now() - f.start
+	f.done, f.res, f.err = true, res, firstErr
+	return f.res, f.err
+}
+
+// joinFutures links the sub-batch futures of one split submission into a
+// single Future whose start is the first part's submission instant. A
+// single part is returned as-is.
+func joinFutures(parts []*Future) *Future {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	f := &Future{parts: parts}
+	if len(parts) > 0 {
+		f.start = parts[0].start
+	}
+	return f
 }
 
 // batchWait is the shared wait/accounting state of coalesced siblings.

@@ -15,6 +15,24 @@
 // operation returns a *Future whose Wait(p, mode) unifies the sync, async,
 // poll, UMWAIT, and interrupt completion paths.
 //
+// # Placement (G4)
+//
+// Guideline G4 — put the device next to the data, not the submitter —
+// lives in placement.go: the Placement scheduler resolves each
+// descriptor's source/destination home nodes (mem.AddressSpace.NodeAt, an
+// allocation-free lookup the service fills into every Request) and routes
+// to a WQ on the data's socket, preferring the faster-write medium when a
+// DRAM↔CXL pair straddles sockets and falling back to NUMALocal semantics
+// when the data's home is unknown. Under a data-aware scheduler the batch
+// paths go further: Batch.Submit and AutoBatcher.Flush shard a mixed-home
+// flush into per-socket sub-batches, each submitted to the device local to
+// its slice's data, with the sibling Futures joined so the wait cost is
+// paid once per sub-batch and failures stay sub-batch-granular
+// (Policy.SplitBatches; fenced batches are never split). Scheduler Pick
+// paths are allocation-free: per-socket WQ subsets and express/rest
+// priority partitions are precomputed on the Service (Topology) instead of
+// being re-derived per submission.
+//
 //	svc, _ := offload.NewService(e, sys, wqs, offload.WithScheduler(offload.NewNUMALocal()))
 //	tn, _ := svc.NewTenant(offload.OnSocket(0))
 //	fut, _ := tn.Copy(p, dst, src, 1<<20)
@@ -42,6 +60,17 @@ type Service struct {
 	policy Policy
 	model  cpu.Model
 	wqs    []*dsa.WQ
+
+	// topo is the precomputed per-socket WQ placement index shared with
+	// schedulers via Request.Topo (rebuilt on AddWQs), so Pick never
+	// re-derives socket subsets on the submission hot path.
+	topo *Topology
+
+	// dataAware caches whether sched routes on data homes, so the
+	// submission hot path only pays the per-descriptor NodeAt lookups
+	// (and the batch paths only consider splitting) when a scheduler will
+	// actually read them.
+	dataAware bool
 
 	// maxBatch caches the smallest device batch limit among the WQs (an
 	// AutoBatcher flush bound); recomputed on AddWQs.
@@ -96,6 +125,7 @@ func NewService(e *sim.Engine, sys *mem.System, wqs []*dsa.WQ, opts ...ServiceOp
 	for _, o := range opts {
 		o(sv)
 	}
+	_, sv.dataAware = sv.sched.(DataAware)
 	sv.AddWQs(wqs...)
 	return sv, nil
 }
@@ -111,10 +141,14 @@ func (sv *Service) AddWQs(wqs ...*dsa.WQ) {
 			sv.maxBatch = wq.Dev.Cfg.MaxBatch
 		}
 	}
+	sv.topo = newTopology(sv.wqs, len(sv.Sys.Sockets))
 }
 
 // WQs returns the service's submission targets.
 func (sv *Service) WQs() []*dsa.WQ { return sv.wqs }
+
+// Topology returns the service's per-socket WQ placement index.
+func (sv *Service) Topology() *Topology { return sv.topo }
 
 // Scheduler returns the active scheduler.
 func (sv *Service) Scheduler() Scheduler { return sv.sched }
@@ -130,6 +164,20 @@ func (sv *Service) NewTenant(opts ...TenantOption) (*Tenant, error) {
 	cfg := tenantCfg{socket: 0, policy: sv.policy}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	// Validate the tenant's socket up front: an exotic topology (or a typo
+	// in OnSocket) must fail here with a clear error, not panic later in
+	// the allocator when Tenant.localNode indexes an empty node list.
+	socket := cfg.socket
+	if cfg.core != nil {
+		socket = cfg.core.Socket
+	}
+	if socket < 0 || socket >= len(sv.Sys.Sockets) {
+		return nil, fmt.Errorf("offload: tenant socket %d out of range (platform has %d sockets)",
+			socket, len(sv.Sys.Sockets))
+	}
+	if len(sv.Sys.SocketOf(socket).Nodes) == 0 {
+		return nil, fmt.Errorf("offload: socket %d has no memory nodes to allocate from", socket)
 	}
 	as := cfg.as
 	if as == nil && cfg.core != nil {

@@ -1,0 +1,105 @@
+// Data-home placement (guideline G4 made policy).
+//
+// The paper's Fig 6 shows that where the *data* lives — not where the
+// submitting core runs — decides offload throughput: a device on the data's
+// socket avoids the UPI crossing that roughly halves bandwidth (Fig 6a),
+// and DRAM-vs-CXL destination media shift the picture further (Fig 6b).
+// The Placement scheduler routes each descriptor to a WQ local to its
+// source/destination data; the batch paths (batch.go) shard a mixed-home
+// flush into per-socket sub-batches so one logical batch can ride multiple
+// devices, each adjacent to its slice's data.
+package offload
+
+import (
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+)
+
+// DataAware marks schedulers that route on the request's SrcNode/DstNode
+// data homes. The batch submission paths split mixed-home flushes into
+// per-socket sub-batches only for such schedulers — under a blind policy
+// the sub-batches would all land on the same device and the split would be
+// pure parent-descriptor overhead.
+type DataAware interface {
+	// DataSocket resolves the socket a request's data is homed on; ok is
+	// false when the request carries no usable placement information.
+	DataSocket(req Request) (socket int, ok bool)
+}
+
+// Placement routes each descriptor to a WQ on its data's socket: the
+// socket both ends share when they agree, otherwise the side of the
+// faster-write medium (see dataSocket). Requests without placement
+// information fall back to NUMALocal semantics (the tenant's socket).
+// Within the chosen socket it picks least-loaded; with QoS enabled it
+// first applies PriorityAware's express-lane reservation, so data locality
+// and the §3.4 F3 express lane compose.
+type Placement struct {
+	next int
+	// qos composes the express/rest partition on top of the socket choice.
+	qos bool
+}
+
+// NewPlacement returns the data-home-aware scheduler.
+func NewPlacement() *Placement { return &Placement{} }
+
+// NewPlacementQoS returns the data-home-aware scheduler with
+// PriorityAware's express-lane reservation layered inside the chosen
+// socket: latency-sensitive tenants get the socket's top-priority WQ, bulk
+// traffic the rest.
+func NewPlacementQoS() *Placement { return &Placement{qos: true} }
+
+// Name implements Scheduler.
+func (s *Placement) Name() string {
+	if s.qos {
+		return "placement-qos"
+	}
+	return "placement"
+}
+
+// DataSocket implements DataAware.
+func (s *Placement) DataSocket(req Request) (int, bool) {
+	return dataSocket(req.SrcNode, req.DstNode)
+}
+
+// Pick implements Scheduler.
+func (s *Placement) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
+	socket, ok := dataSocket(req.SrcNode, req.DstNode)
+	if !ok {
+		socket = req.Socket
+	}
+	s.next = (s.next + 1) % len(wqs)
+	if s.qos {
+		return pickExpress(req, socket, wqs, s.next)
+	}
+	return leastLoadedOf(req.localPool(socket, wqs), s.next)
+}
+
+// dataSocket resolves the socket a (src, dst) data-home pair places a
+// descriptor on:
+//
+//   - both unknown → no placement (ok false; callers fall back to the
+//     tenant's socket, i.e. NUMALocal semantics)
+//   - one side known → its socket
+//   - both on one socket → that socket
+//   - straddling sockets → exactly one UPI crossing is unavoidable, so the
+//     device lands next to the faster-write medium: a DRAM↔CXL pair goes
+//     adjacent to the DRAM side (Fig 6b, G4 — the CXL link is the
+//     bottleneck wherever the device sits, while the wide DRAM pipes lose
+//     real bandwidth when capped by UPI), and a same-medium pair goes to
+//     the destination's socket, keeping the narrower write pipe local.
+func dataSocket(src, dst *mem.Node) (int, bool) {
+	switch {
+	case src == nil && dst == nil:
+		return 0, false
+	case src == nil:
+		return dst.Socket, true
+	case dst == nil:
+		return src.Socket, true
+	case src.Socket == dst.Socket:
+		return src.Socket, true
+	case src.WriteGBps() > dst.WriteGBps():
+		return src.Socket, true
+	default:
+		return dst.Socket, true
+	}
+}

@@ -57,6 +57,13 @@ type Policy struct {
 	// operations accumulate (or on Flush/Wait).
 	AutoBatch int
 
+	// SplitBatches lets the batch paths shard a mixed-home flush into
+	// per-socket sub-batches, each routed to a device local to its
+	// slice's data (G4). It only engages under a data-aware scheduler
+	// (Placement); fence-carrying batches are never split. Disable to
+	// force every batch onto a single WQ regardless of data placement.
+	SplitBatches bool
+
 	// Wait is the default completion mode for synchronous helpers and the
 	// compatibility shim: Poll, UMWait, or Interrupt (§4.4, Fig 11).
 	Wait WaitMode
@@ -73,12 +80,14 @@ type Policy struct {
 }
 
 // DefaultPolicy returns the guideline defaults: static 4 KB offload
-// threshold, auto-batching off, polled completions, block-until-accepted
-// submission, admission control off.
+// threshold, auto-batching off, mixed-home batch splitting on (it only
+// engages under a data-aware scheduler), polled completions,
+// block-until-accepted submission, admission control off.
 func DefaultPolicy() Policy {
 	return Policy{
 		OffloadThreshold: 4096,
 		AutoBatch:        0,
+		SplitBatches:     true,
 		Wait:             Poll,
 		MaxRetries:       -1,
 	}
@@ -92,6 +101,7 @@ type Stats struct {
 	SWBytes  int64
 	Batches  int64 // batch descriptors submitted (explicit and auto)
 	Coalesce int64 // operations absorbed into auto-batches
+	Splits   int64 // per-socket sub-batches created from mixed-home flushes
 	Failures int64 // submissions or completions that returned errors
 	Shed     int64 // hardware submissions rejected by admission control
 	Delayed  int64 // hardware submissions delayed by admission control

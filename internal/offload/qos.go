@@ -74,18 +74,33 @@ func (s *PriorityAware) Name() string { return "priority-aware" }
 
 // Pick implements Scheduler.
 func (s *PriorityAware) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
-	pool := localWQs(req.Socket, wqs)
 	s.next = (s.next + 1) % len(wqs)
-	express, rest := splitByPriority(pool)
+	return pickExpress(req, req.Socket, wqs, s.next)
+}
+
+// pickExpress applies the express-lane reservation within a socket's WQ
+// pool: latency-sensitive requests get the top-priority subset, bulk the
+// rest, least-loaded within each partition. It is shared by PriorityAware
+// and the QoS-composed Placement scheduler, which differ only in how the
+// socket is chosen.
+func pickExpress(req Request, socket int, wqs []*dsa.WQ, offset int) *dsa.WQ {
+	var pool, express, rest []*dsa.WQ
+	if req.Topo != nil {
+		pool = req.Topo.Local(socket)
+		express, rest = req.Topo.Split(socket)
+	} else {
+		pool = localWQs(socket, wqs)
+		express, rest = splitByPriority(pool)
+	}
 	if len(rest) == 0 {
 		// Uniform priorities: no WQ can be reserved without starving bulk
 		// traffic entirely, so the classes share the pool.
-		return leastLoadedOf(pool, s.next)
+		return leastLoadedOf(pool, offset)
 	}
 	if req.Class == LatencySensitive {
-		return leastLoadedOf(express, s.next)
+		return leastLoadedOf(express, offset)
 	}
-	return leastLoadedOf(rest, s.next)
+	return leastLoadedOf(rest, offset)
 }
 
 // splitByPriority partitions wqs into the top-priority set (the reserved

@@ -2,15 +2,38 @@ package offload
 
 import (
 	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
 )
 
 // Request describes one hardware submission to the scheduler: the
-// submitting tenant's socket, its QoS class, and the descriptor payload
-// size (zero for batch parents). Schedulers are free to ignore any field.
+// submitting tenant's socket, its QoS class, the descriptor payload size
+// (zero for batch parents), and — when resolvable — the home nodes of the
+// descriptor's source and destination data (G4's placement inputs).
+// Schedulers are free to ignore any field.
 type Request struct {
 	Socket int
 	Class  QoSClass
 	Size   int64
+
+	// SrcNode and DstNode are the home NUMA nodes of the data the
+	// descriptor reads and writes (nil when unknown: unplaced buffers, or
+	// operations without that side). Data-aware schedulers route on them.
+	SrcNode *mem.Node
+	DstNode *mem.Node
+
+	// Topo is the service's precomputed WQ placement index. The service
+	// fills it on every submission; direct Pick callers may leave it nil,
+	// in which case schedulers derive (and allocate) the subsets per call.
+	Topo *Topology
+}
+
+// localPool returns the WQs local to socket, preferring the precomputed
+// index and falling back to a per-call scan when the request carries none.
+func (req *Request) localPool(socket int, wqs []*dsa.WQ) []*dsa.WQ {
+	if req.Topo != nil {
+		return req.Topo.Local(socket)
+	}
+	return localWQs(socket, wqs)
 }
 
 // Scheduler picks the work queue for one submission. Implementations see
@@ -23,7 +46,9 @@ type Request struct {
 // throughput); LeastLoaded honors Figs 4/9 (WQ backlog, not device count,
 // bounds completion latency under asymmetric load); PriorityAware adds the
 // §3.4 F3 QoS dimension, reserving the highest-priority WQ per socket for
-// latency-sensitive tenants (see qos.go).
+// latency-sensitive tenants (see qos.go); Placement adds the G4 data
+// dimension, routing each descriptor to the device local to the data it
+// touches rather than to the submitting core (see placement.go).
 type Scheduler interface {
 	// Name identifies the policy in reports and experiment tables.
 	Name() string
@@ -68,7 +93,7 @@ func (s *NUMALocal) Name() string { return "numa-local" }
 
 // Pick implements Scheduler.
 func (s *NUMALocal) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
-	local := localWQs(req.Socket, wqs)
+	local := req.localPool(req.Socket, wqs)
 	wq := local[s.next[req.Socket]%len(local)]
 	s.next[req.Socket] = (s.next[req.Socket] + 1) % len(local)
 	return wq
@@ -95,7 +120,8 @@ func (s *LeastLoaded) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
 }
 
 // localWQs returns the subset of wqs on the given socket, or wqs itself
-// when the socket has no local device (the UPI-crossing fallback).
+// when the socket has no local device (the UPI-crossing fallback). It
+// allocates; the service hot path uses the Topology cache instead.
 func localWQs(socket int, wqs []*dsa.WQ) []*dsa.WQ {
 	var local []*dsa.WQ
 	for _, wq := range wqs {
@@ -110,13 +136,18 @@ func localWQs(socket int, wqs []*dsa.WQ) []*dsa.WQ {
 }
 
 // leastLoadedOf returns the WQ with the fewest occupied entries, scanning
-// from the rotating offset so ties spread round-robin.
+// from the rotating offset so ties spread round-robin. The index wraps by
+// comparison, not by a modulo per element — this runs on every submission.
 func leastLoadedOf(wqs []*dsa.WQ, offset int) *dsa.WQ {
-	best := wqs[offset%len(wqs)]
-	for i := 1; i < len(wqs); i++ {
-		wq := wqs[(offset+i)%len(wqs)]
-		if wq.Occupancy() < best.Occupancy() {
-			best = wq
+	n := len(wqs)
+	i := offset % n
+	best := wqs[i]
+	for k := 1; k < n; k++ {
+		if i++; i == n {
+			i = 0
+		}
+		if wqs[i].Occupancy() < best.Occupancy() {
+			best = wqs[i]
 		}
 	}
 	return best

@@ -55,7 +55,8 @@ func (t *Tenant) client(wq *dsa.WQ) *dsa.Client {
 }
 
 // localNode returns the DRAM node on the tenant's socket (not merely the
-// socket's first node, which can be a CXL expander).
+// socket's first node, which can be a CXL expander). NewTenant verified
+// the socket has at least one node, so the fallback cannot panic.
 func (t *Tenant) localNode() *mem.Node {
 	sock := t.S.Sys.SocketOf(t.Core.Socket)
 	for _, n := range sock.Nodes {
@@ -151,6 +152,47 @@ func (t *Tenant) admit(p *sim.Proc) error {
 	return nil
 }
 
+// request builds the scheduler request for one descriptor, resolving the
+// home nodes of the data it reads and writes. For a batch parent the first
+// child stands in for the whole batch: the batch paths group children by
+// home socket before submitting (batch.go), so any child's home is the
+// slice's.
+func (t *Tenant) request(d *dsa.Descriptor) Request {
+	req := Request{Socket: t.Core.Socket, Class: t.class, Size: d.Size, Topo: t.S.topo}
+	if !t.S.dataAware {
+		// No scheduler will read the data homes; skip the lookups.
+		return req
+	}
+	src, dst := d.Src, d.Dst
+	if d.Op == dsa.OpBatch && len(d.Descs) > 0 {
+		src, dst = d.Descs[0].Src, d.Descs[0].Dst
+	}
+	if src != 0 {
+		req.SrcNode = t.AS.NodeAt(src)
+	}
+	if dst != 0 {
+		req.DstNode = t.AS.NodeAt(dst)
+	}
+	return req
+}
+
+// dataHome resolves the socket one queued descriptor's data places it on,
+// falling back to the tenant's socket when the descriptor carries no
+// placement information. The batch paths group descriptors by this key.
+func (t *Tenant) dataHome(d *dsa.Descriptor) int {
+	var src, dst *mem.Node
+	if d.Src != 0 {
+		src = t.AS.NodeAt(d.Src)
+	}
+	if d.Dst != 0 {
+		dst = t.AS.NodeAt(d.Dst)
+	}
+	if s, ok := dataSocket(src, dst); ok {
+		return s
+	}
+	return t.Core.Socket
+}
+
 // submit schedules, prepares, and submits one hardware descriptor,
 // returning its Future. Admission control runs before WQ selection so a
 // shed or delayed submission never occupies a queue slot; bounded-retry
@@ -161,7 +203,10 @@ func (t *Tenant) submit(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future
 	if err := t.admit(p); err != nil {
 		return nil, err
 	}
-	wq := t.S.sched.Pick(Request{Socket: t.Core.Socket, Class: t.class, Size: d.Size}, t.S.wqs)
+	wq := t.S.sched.Pick(t.request(&d), t.S.wqs)
+	if wq == nil {
+		return nil, fmt.Errorf("offload: scheduler %q returned no work queue", t.S.sched.Name())
+	}
 	cl := t.client(wq)
 	cl.Prepare(p)
 	start := p.Now()

@@ -1,0 +1,80 @@
+package offload
+
+import (
+	"dsasim/internal/dsa"
+)
+
+// Topology is the service's precomputed placement index over its work
+// queues: per-socket WQ subsets and, within each socket, the express/rest
+// priority partition PriorityAware reserves. It is rebuilt on AddWQs and
+// shared by every scheduler through Request.Topo, so the submission hot
+// path never re-derives (or re-allocates) these subsets per Pick — the
+// old localWQs/splitByPriority calls allocated fresh slices on every
+// submission.
+type Topology struct {
+	all []*dsa.WQ
+	// Indexed by socket id; a socket with no local device holds nil and
+	// falls back to the full set (the UPI-crossing fallback).
+	local   [][]*dsa.WQ
+	express [][]*dsa.WQ // top-priority subset per socket
+	rest    [][]*dsa.WQ // remaining WQs per socket (nil when uniform)
+	// Full-set partition, used when a socket has no local device.
+	allExpress []*dsa.WQ
+	allRest    []*dsa.WQ
+}
+
+// newTopology indexes wqs by device socket. sockets is the platform socket
+// count; devices on sockets beyond it extend the index.
+func newTopology(wqs []*dsa.WQ, sockets int) *Topology {
+	for _, wq := range wqs {
+		if s := wq.Dev.Cfg.Socket + 1; s > sockets {
+			sockets = s
+		}
+	}
+	t := &Topology{
+		all:     wqs,
+		local:   make([][]*dsa.WQ, sockets),
+		express: make([][]*dsa.WQ, sockets),
+		rest:    make([][]*dsa.WQ, sockets),
+	}
+	for _, wq := range wqs {
+		s := wq.Dev.Cfg.Socket
+		t.local[s] = append(t.local[s], wq)
+	}
+	for s, pool := range t.local {
+		if len(pool) == 0 {
+			continue
+		}
+		t.express[s], t.rest[s] = splitByPriority(pool)
+	}
+	t.allExpress, t.allRest = splitByPriority(wqs)
+	return t
+}
+
+// Sockets returns the number of sockets the index covers.
+func (t *Topology) Sockets() int { return len(t.local) }
+
+// Local returns the WQs on the given socket, or the full set when the
+// socket has no local device (or is out of range) — never empty.
+func (t *Topology) Local(socket int) []*dsa.WQ {
+	if socket < 0 || socket >= len(t.local) || len(t.local[socket]) == 0 {
+		return t.all
+	}
+	return t.local[socket]
+}
+
+// HasLocal reports whether the socket has at least one local WQ (Local
+// would not fall back to the full set).
+func (t *Topology) HasLocal(socket int) bool {
+	return socket >= 0 && socket < len(t.local) && len(t.local[socket]) > 0
+}
+
+// Split returns the socket's express-lane WQs and the rest. rest is nil
+// when the socket's WQs share one priority (nothing to reserve); both fall
+// back to the full-set partition when the socket has no local device.
+func (t *Topology) Split(socket int) (express, rest []*dsa.WQ) {
+	if socket < 0 || socket >= len(t.local) || len(t.local[socket]) == 0 {
+		return t.allExpress, t.allRest
+	}
+	return t.express[socket], t.rest[socket]
+}

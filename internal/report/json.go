@@ -1,0 +1,56 @@
+package report
+
+import "encoding/json"
+
+// BenchDoc is the machine-readable rendering of one experiment's tables.
+// cmd/dsa-bench writes one per experiment (BENCH_<id>.json) and CI
+// archives them, giving future PRs a perf trajectory to diff against
+// instead of eyeballing the fixed-width text tables.
+type BenchDoc struct {
+	Experiment string       `json:"experiment"`
+	Title      string       `json:"title"`
+	Tables     []BenchTable `json:"tables"`
+}
+
+// BenchTable is one table flattened into (series, x, y) points.
+type BenchTable struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	Notes  []string     `json:"notes,omitempty"`
+	Points []BenchPoint `json:"points"`
+}
+
+// BenchPoint is one measured cell. Label carries the categorical x name
+// (or the power-of-two byte rendering) so diffs stay readable without the
+// raw x value.
+type BenchPoint struct {
+	Series string  `json:"series"`
+	X      float64 `json:"x"`
+	Label  string  `json:"x_label"`
+	Y      float64 `json:"y"`
+}
+
+// MarshalBench renders one experiment's tables as indented JSON.
+func MarshalBench(expID, title string, tables []*Table) ([]byte, error) {
+	doc := BenchDoc{Experiment: expID, Title: title}
+	for _, t := range tables {
+		bt := BenchTable{
+			ID:     t.ID,
+			Title:  t.Title,
+			XLabel: t.XLabel,
+			YLabel: t.YLabel,
+			Notes:  t.Notes,
+		}
+		for _, s := range t.Series() {
+			for _, x := range t.Xs() {
+				if y, ok := t.Get(s, x); ok {
+					bt.Points = append(bt.Points, BenchPoint{Series: s, X: x, Label: t.xLabel(x), Y: y})
+				}
+			}
+		}
+		doc.Tables = append(doc.Tables, bt)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -12,10 +12,13 @@
 //
 // Work is submitted through the unified offload API (internal/offload): the
 // platform owns an offload.Service whose pluggable Scheduler places each
-// descriptor on a work queue (round-robin, NUMA-local, least-loaded, or
-// the QoS-aware priority scheduler of the SPRQoS profile), and each client
-// of the service is an offload.Tenant — a PASID-bound address space plus a
-// submitting core, carrying a QoS class and an admission-control budget.
+// descriptor on a work queue (round-robin, NUMA-local, least-loaded, the
+// QoS-aware priority scheduler of the SPRQoS profile, or the data-home
+// Placement scheduler of the SPRPlacement profile, which routes on where
+// the data lives and splits mixed-home batches across sockets — G4), and
+// each client of the service is an offload.Tenant — a PASID-bound address
+// space plus a submitting core, carrying a QoS class and an
+// admission-control budget.
 // Every operation returns a Future; Wait(p, mode) covers the polled,
 // UMWAIT, and interrupt completion paths, and the paper's guidelines are
 // policy: G2's offload threshold (static or pressure-adaptive) and G1's
@@ -63,6 +66,10 @@ type Profile struct {
 	// default group configuration (one group, all engines, one 32-entry
 	// dedicated WQ).
 	Devices int
+	// DeviceSockets optionally places device i on DeviceSockets[i]
+	// (devices beyond the list keep DeviceConfig.Socket). Placement-aware
+	// profiles use it to put one DSA on each socket.
+	DeviceSockets []int
 	// DeviceConfig templates each device (socket/name are overridden).
 	DeviceConfig dsa.Config
 	// WQs overrides the per-device work-queue layout (one group holding
@@ -116,6 +123,23 @@ func SPRQoS() Profile {
 	pol := offload.DefaultPolicy()
 	pol.AdaptiveThreshold = true
 	pr.Policy = &pol
+	return pr
+}
+
+// SPRPlacement returns the SPR profile configured for data-home placement
+// (G4): one DSA instance per socket and the Placement scheduler, which
+// routes each descriptor to the device local to its source/destination
+// data (falling back to the tenant's socket) and lets the batch paths
+// split mixed-home flushes into per-socket sub-batches
+// (offload.Policy.SplitBatches, on by default). Use it when workloads
+// touch memory the submitting core is not adjacent to: tiered-memory
+// migration, cross-socket shuffles, CXL traffic.
+func SPRPlacement() Profile {
+	pr := SPR()
+	pr.Name = "SPR-Placement"
+	pr.Devices = 2
+	pr.DeviceSockets = []int{0, 1}
+	pr.Scheduler = func() offload.Scheduler { return offload.NewPlacement() }
 	return pr
 }
 
@@ -174,6 +198,9 @@ func NewPlatform(pr Profile) *Platform {
 	for i := 0; i < pr.Devices; i++ {
 		cfg := pr.DeviceConfig
 		cfg.Name = fmt.Sprintf("%s%d", pr.DeviceConfig.Name, i)
+		if i < len(pr.DeviceSockets) {
+			cfg.Socket = pr.DeviceSockets[i]
+		}
 		dev := dsa.New(e, sys, cfg)
 		ent, err := pl.Registry.Adopt(dev)
 		if err != nil {

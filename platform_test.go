@@ -239,6 +239,72 @@ func TestSPRQoSProfileWiring(t *testing.T) {
 	}
 }
 
+// TestSPRPlacementProfileWiring checks the placement profile end to end:
+// one device per socket, the Placement scheduler, and data-home routing —
+// a socket-0 tenant's copy between socket-1 buffers must land on the
+// socket-1 device, and a mixed-home batch must split across both.
+func TestSPRPlacementProfileWiring(t *testing.T) {
+	pl := NewPlatform(SPRPlacement())
+	if len(pl.Devices) != 2 {
+		t.Fatalf("devices = %d, want 2", len(pl.Devices))
+	}
+	for i, want := range []int{0, 1} {
+		if got := pl.Devices[i].Cfg.Socket; got != want {
+			t.Fatalf("device %d on socket %d, want %d", i, got, want)
+		}
+	}
+	if got := pl.Offload.Scheduler().Name(); got != "placement" {
+		t.Fatalf("scheduler = %q, want placement", got)
+	}
+	tn := pl.NewTenant()
+	n := int64(256 << 10)
+	rsrc := tn.AllocOn(1, 2*n)
+	rdst := tn.AllocOn(1, 2*n)
+	lsrc := tn.AllocOn(0, n)
+	ldst := tn.AllocOn(0, n)
+	sim.NewRand(21).Bytes(rsrc.Bytes())
+	sim.NewRand(22).Bytes(lsrc.Bytes())
+	pl.Run(func(p *sim.Proc) {
+		f, err := tn.Copy(p, rdst.Addr(0), rsrc.Addr(0), n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Wait(p, offload.Poll); err != nil {
+			t.Error(err)
+			return
+		}
+		// Mixed-home batch: one socket-0 copy, one socket-1 copy.
+		bf, err := tn.NewBatch().
+			Copy(ldst.Addr(0), lsrc.Addr(0), n).
+			Copy(rdst.Addr(n), rsrc.Addr(n), n).
+			Submit(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := bf.Wait(p, offload.Poll); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Equal(rdst.Bytes(), rsrc.Bytes()) || !bytes.Equal(ldst.Bytes(), lsrc.Bytes()) {
+		t.Fatal("placement-profile copies incomplete")
+	}
+	if got := pl.Devices[1].Cfg.Socket; got != 1 {
+		t.Fatalf("device 1 socket = %d", got)
+	}
+	// The remote copy and the batch's socket-1 slice ride device 1.
+	if got := pl.Devices[1].Stats().Submitted; got != 2 {
+		t.Errorf("socket-1 device saw %d descriptors, want 2", got)
+	}
+	if got := pl.Devices[0].Stats().Submitted; got != 1 {
+		t.Errorf("socket-0 device saw %d descriptors, want 1", got)
+	}
+	if got := tn.Stats().Splits; got != 2 {
+		t.Errorf("Splits = %d, want 2", got)
+	}
+}
+
 // Scheduler comparison on the real SPR profile with one device per socket:
 // NUMA-local placement must deliver at least round-robin's throughput for
 // a socket-local workload (Fig 6a's remote-placement penalty).
