@@ -86,6 +86,11 @@ func (c *Client) Submit(p *sim.Proc, d Descriptor) (*Completion, error) {
 // until the descriptor is accepted.
 func (c *Client) TrySubmit(p *sim.Proc, d Descriptor, maxRetries int) (*Completion, error) {
 	t := c.WQ.Dev.Cfg.Timing
+	if c.Core != nil {
+		// Stamp the submitter's socket so the device prices batch
+		// descriptor-array fetches against the right memory.
+		d.SubmitterSocket = c.Core.Socket
+	}
 	rejected := 0
 	for {
 		instr := t.SubmitMOVDIR64B

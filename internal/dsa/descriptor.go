@@ -133,6 +133,13 @@ type Descriptor struct {
 	// unit fetches and executes them (§3.4 F2).
 	Descs []Descriptor
 
+	// SubmitterSocket is the socket of the submitting core (filled by the
+	// client submission path). The descriptor array a batch parent points
+	// at lives in the submitter's pages, so the batch processing unit
+	// prices its fetch against this socket's memory — a cross-socket
+	// sub-batch pays the real UPI round trip, not node 0's latency.
+	SubmitterSocket int
+
 	// CompletionAddr is where the completion record is written. The model
 	// delivers completions through a *Completion handle instead of raw
 	// memory, but the address participates in timing (DDIO write).

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"dsasim/internal/cpu"
 	"dsasim/internal/dif"
 	"dsasim/internal/isal"
 	"dsasim/internal/mem"
@@ -591,4 +592,55 @@ func TestCompletionTimelineMonotonic(t *testing.T) {
 		}
 	})
 	r.e.Run()
+}
+
+// The batch processing unit fetches the descriptor array from the
+// submitting core's memory, so a batch submitted from the remote socket
+// pays the UPI round trip on the fetch that a local submitter does not.
+// Data placement is identical in both runs; only the submitter moves.
+func TestBatchFetchPricedAgainstSubmitterSocket(t *testing.T) {
+	run := func(socket int) sim.Time {
+		e := sim.New()
+		sys := sprSystem(e)
+		dev := New(e, sys, DefaultConfig("dsa0", 0))
+		if _, err := dev.AddGroup(GroupConfig{
+			Engines: 4,
+			WQs:     []WQConfig{{Mode: Dedicated, Size: 32}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Enable(); err != nil {
+			t.Fatal(err)
+		}
+		as := mem.NewAddressSpace(1)
+		dev.BindPASID(as)
+		core := cpu.NewCore(0, socket, sys, as, cpu.SPRModel())
+		n := int64(4 << 10)
+		src := as.Alloc(2*n, mem.OnNode(sys.Node(0)))
+		dst := as.Alloc(2*n, mem.OnNode(sys.Node(0)))
+		cl := NewClient(dev.WQs()[0], core)
+		var lat sim.Time
+		e.Go("batch", func(p *sim.Proc) {
+			comp, err := cl.Submit(p, Descriptor{Op: OpBatch, PASID: 1, Descs: []Descriptor{
+				{Op: OpMemmove, Src: src.Addr(0), Dst: dst.Addr(0), Size: n},
+				{Op: OpMemmove, Src: src.Addr(n), Dst: dst.Addr(n), Size: n},
+			}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			comp.Wait(p)
+			lat = comp.Latency()
+		})
+		e.Run()
+		return lat
+	}
+	local := run(0)
+	remote := run(1)
+	if remote <= local {
+		t.Fatalf("remote-submitter batch latency %v not above local %v", remote, local)
+	}
+	if diff := remote - local; diff < 70*time.Nanosecond {
+		t.Fatalf("remote fetch penalty %v below the 70ns UPI hop", diff)
+	}
 }

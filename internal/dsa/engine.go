@@ -345,10 +345,12 @@ func (eng *Engine) executeBatch(wk *work) {
 
 	n := int64(len(wk.d.Descs)) * 64
 	// Fetch the descriptor array: one memory round trip plus fabric
-	// occupancy for 64×N bytes.
+	// occupancy for 64×N bytes. The array lives in the submitting core's
+	// local memory, so the round trip is priced against the submitter's
+	// home node — a device on the other socket pays the UPI hop.
 	var fetchLat sim.Time = 110 * time.Nanosecond
-	if len(d.Sys.Nodes) > 0 {
-		fetchLat = d.Sys.AccessLat(d.Cfg.Socket, d.Sys.Nodes[0], false)
+	if home := d.Sys.HomeNode(wk.d.SubmitterSocket); home != nil {
+		fetchLat = d.Sys.AccessLat(d.Cfg.Socket, home, false)
 	}
 	fetchDone := d.fabric.ReserveAt(now+t.EngineSetup+fetchLat, n)
 

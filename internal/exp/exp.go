@@ -54,6 +54,7 @@ func All() []Experiment {
 		{"sched", "Offload scheduler comparison (round-robin vs NUMA-local vs least-loaded vs placement)", Sched},
 		{"qos", "QoS scheduling: latency-sensitive p99 under bulk interference (§3.4 F3)", QoS},
 		{"placement", "Data-home placement: CXL/NUMA-aware routing and batch splitting (G4)", Placement},
+		{"skew", "Skewed load: data-only vs load-aware placement vs in-flight window", Skew},
 	}
 }
 

@@ -29,6 +29,11 @@ import (
 //   - demote/promote: DRAM↔CXL streams with both ends on socket 0 — the
 //     CXL pipes bound throughput wherever the device sits (Fig 6b), so
 //     the policies tie and the rows anchor the media crossover.
+//   - skew: one tenant saturates socket 0 (all data socket-0 DRAM, a deep
+//     in-flight window) while socket 1's DSA idles. Data-only placement
+//     serializes behind the home device; load-aware placement
+//     (Policy.LoadAware) detours submissions across UPI once the modelled
+//     queueing delay exceeds the transfer penalty, running both devices.
 func Placement() []*report.Table {
 	t := report.New("placement", "Data-home placement: 2 sockets, 1 DSA each, CXL on socket 0", "workload", "GB/s")
 	for i, wl := range placementWorkloads() {
@@ -39,23 +44,27 @@ func Placement() []*report.Table {
 	t.Note("xsock: routing on the data's home instead of the tenant's socket keeps both legs off UPI (Fig 6a, G4)")
 	t.Note("cxl-mix: splitting a mixed-home batch puts each slice on its local device and runs the devices in parallel")
 	t.Note("demote/promote: the CXL pipes bound throughput wherever the device sits (Fig 6b)")
+	t.Note("skew: load-aware placement rides the idle remote device once queueing delay dwarfs the UPI penalty (§3.3/§5)")
 	return []*report.Table{t}
 }
 
 // placementCfg is one scheduler series of the sweep.
 type placementCfg struct {
-	name  string
-	sched func() offload.Scheduler
-	split bool
+	name      string
+	sched     func() offload.Scheduler
+	split     bool
+	loadAware bool
 }
 
 // placementConfigs returns the compared policies: the NUMALocal baseline,
-// data-home routing without batch splitting, and the full placement path.
+// data-home routing without batch splitting, the full placement path, and
+// placement with the load-aware fallback on.
 func placementConfigs() []placementCfg {
 	return []placementCfg{
 		{name: "numa-local", sched: func() offload.Scheduler { return offload.NewNUMALocal() }},
 		{name: "placement-nosplit", sched: func() offload.Scheduler { return offload.NewPlacement() }},
 		{name: "placement", sched: func() offload.Scheduler { return offload.NewPlacement() }, split: true},
+		{name: "placement-load", sched: func() offload.Scheduler { return offload.NewPlacement() }, split: true, loadAware: true},
 	}
 }
 
@@ -87,7 +96,54 @@ func placementWorkloads() []placementWorkload {
 		{name: "promote", run: func(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
 			return copyStreams(e, svc, []copyStream{{tenantSocket: 0, srcNode: 2, dstNode: 0, size: 1 << 20, count: 12}})
 		}},
+		{name: "skew", run: func(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
+			return skewedLoad(e, svc, 16)
+		}},
 	}
+}
+
+// skewedLoad saturates socket 0: one bulk tenant whose data is all homed
+// on socket-0 DRAM keeps qd 256 KB copies in flight while socket 1's
+// device idles. Data-only placement follows the data onto the backlogged
+// device; with Policy.LoadAware the cost model detours submissions to the
+// idle remote device once the home WQ's queueing delay (latency EWMA ×
+// occupancy) exceeds the UPI transfer penalty, so both devices run.
+func skewedLoad(e *sim.Engine, svc *offload.Service, qd int) (int64, sim.Time) {
+	const (
+		size  = int64(256 << 10)
+		count = 96
+	)
+	tn, err := svc.NewTenant(offload.OnSocket(0))
+	if err != nil {
+		panic(err)
+	}
+	src := tn.AllocOn(0, size)
+	dst := tn.AllocOn(0, size)
+	var end sim.Time
+	e.Go("bulk", func(p *sim.Proc) {
+		var window []*offload.Future
+		for k := 0; k < count; k++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), size, offload.On(offload.Hardware))
+			if err != nil {
+				panic(err)
+			}
+			window = append(window, f)
+			if len(window) >= qd {
+				if _, err := window[0].Wait(p, offload.Poll); err != nil {
+					panic(err)
+				}
+				window = window[1:]
+			}
+		}
+		for _, f := range window {
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				panic(err)
+			}
+		}
+		end = p.Now()
+	})
+	e.Run()
+	return size * count, end
 }
 
 // copyStream is one tenant streaming synchronous hardware copies.
@@ -186,6 +242,31 @@ func mixedMigrationBatches(e *sim.Engine, svc *offload.Service) (int64, sim.Time
 	return int64(batches) * perBatch, end
 }
 
+// Skew sweeps the skewed-load scenario's in-flight window: data-only
+// placement (the PR-3 behavior) against load-aware placement
+// (Policy.LoadAware) with socket 0 saturated and socket 1 idle. At a
+// shallow window the home WQ barely queues and the two policies tie; as
+// the window deepens, queueing delay on the home device grows linearly
+// while the UPI penalty stays flat, so the load-aware detour buys an
+// increasing share of the idle device's bandwidth — the trajectory CI's
+// bench-gate asserts on.
+func Skew() []*report.Table {
+	t := report.New("skew", "Skewed load: socket 0 saturated, socket 1 idle — data-only vs load-aware placement", "inflight", "GB/s")
+	for _, qd := range []int{4, 8, 16, 24} {
+		for _, cfg := range placementConfigs() {
+			if cfg.name != "placement" && cfg.name != "placement-load" {
+				continue
+			}
+			wl := placementWorkload{name: "skew", run: func(e *sim.Engine, svc *offload.Service) (int64, sim.Time) {
+				return skewedLoad(e, svc, qd)
+			}}
+			t.Set(cfg.name, float64(qd), placementThroughput(cfg, wl))
+		}
+	}
+	t.Note("queueing delay grows with the window while the UPI penalty stays flat: the deeper the backlog, the more the detour wins (§3.3/§5)")
+	return []*report.Table{t}
+}
+
 // placementThroughput measures aggregate GB/s of the workload under cfg on
 // the two-device SPR system.
 func placementThroughput(cfg placementCfg, wl placementWorkload) float64 {
@@ -207,6 +288,7 @@ func placementThroughput(cfg placementCfg, wl placementWorkload) float64 {
 	}
 	pol := offload.DefaultPolicy()
 	pol.SplitBatches = cfg.split
+	pol.LoadAware = cfg.loadAware
 	svc, err := offload.NewService(e, sys, wqs,
 		offload.WithScheduler(cfg.sched()), offload.WithPolicy(pol), offload.WithCPUModel(cpu.SPRModel()))
 	if err != nil {

@@ -7,8 +7,10 @@ import "testing"
 // must never lose where they coincide.
 func TestPlacementBeatsNUMALocal(t *testing.T) {
 	cfgs := placementConfigs()
-	if cfgs[0].name != "numa-local" || cfgs[1].name != "placement-nosplit" || cfgs[2].name != "placement" {
-		t.Fatalf("unexpected config order: %q, %q, %q", cfgs[0].name, cfgs[1].name, cfgs[2].name)
+	if cfgs[0].name != "numa-local" || cfgs[1].name != "placement-nosplit" ||
+		cfgs[2].name != "placement" || cfgs[3].name != "placement-load" {
+		t.Fatalf("unexpected config order: %q, %q, %q, %q",
+			cfgs[0].name, cfgs[1].name, cfgs[2].name, cfgs[3].name)
 	}
 	measure := func(wlName string, cfg placementCfg) float64 {
 		t.Helper()
@@ -48,6 +50,38 @@ func TestPlacementBeatsNUMALocal(t *testing.T) {
 		place := measure(wl, cfgs[2])
 		if place < 0.95*base {
 			t.Errorf("%s: placement %.2f GB/s regressed vs numa-local %.2f GB/s", wl, place, base)
+		}
+	}
+}
+
+// The PR's acceptance experiment for load-aware placement: with socket 0
+// saturated and socket 1 idle, the cost model's UPI detour must buy a
+// material win over data-only placement — and must cost nothing where no
+// backlog builds.
+func TestLoadAwareBeatsDataOnlyUnderSkew(t *testing.T) {
+	cfgs := placementConfigs()
+	measure := func(wlName string, cfg placementCfg) float64 {
+		t.Helper()
+		for _, wl := range placementWorkloads() {
+			if wl.name == wlName {
+				return placementThroughput(cfg, wl)
+			}
+		}
+		t.Fatalf("no workload %q", wlName)
+		return 0
+	}
+	dataOnly := measure("skew", cfgs[2])
+	loadAware := measure("skew", cfgs[3])
+	if loadAware < 1.5*dataOnly {
+		t.Errorf("skew: load-aware %.2f GB/s not ≥1.5x data-only %.2f GB/s", loadAware, dataOnly)
+	}
+	// Never-queued workloads must not regress: the detour engages only
+	// under backlog, so load-aware ties data-only placement elsewhere.
+	for _, wl := range []string{"local", "xsock", "cxl-mix", "demote", "promote"} {
+		place := measure(wl, cfgs[2])
+		load := measure(wl, cfgs[3])
+		if load < 0.95*place {
+			t.Errorf("%s: load-aware %.2f GB/s regressed vs data-only %.2f GB/s", wl, load, place)
 		}
 	}
 }

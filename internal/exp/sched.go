@@ -21,30 +21,39 @@ import (
 // like round-robin — it pulls ahead only under backlog, see the offload
 // package tests); placement routes on the data's home, which for
 // socket-local buffers coincides with NUMA-local (its advantage appears
-// when data and tenant part ways — see the placement experiment).
+// when data and tenant part ways — see the placement experiment), and
+// placement-load (Policy.LoadAware) must coincide with placement here:
+// sequential traffic never queues, so the cost model never detours.
 func Sched() []*report.Table {
 	t := report.New("sched", "Offload scheduler comparison: 2 sockets, 1 DSA each, socket-local tenant", "xfer", "GB/s")
 	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
-	scheds := []func() offload.Scheduler{
-		func() offload.Scheduler { return offload.NewRoundRobin() },
-		func() offload.Scheduler { return offload.NewNUMALocal() },
-		func() offload.Scheduler { return offload.NewLeastLoaded() },
-		func() offload.Scheduler { return offload.NewPlacement() },
+	scheds := []struct {
+		name      string
+		mk        func() offload.Scheduler
+		loadAware bool
+	}{
+		{"round-robin", func() offload.Scheduler { return offload.NewRoundRobin() }, false},
+		{"numa-local", func() offload.Scheduler { return offload.NewNUMALocal() }, false},
+		{"least-loaded", func() offload.Scheduler { return offload.NewLeastLoaded() }, false},
+		{"placement", func() offload.Scheduler { return offload.NewPlacement() }, false},
+		{"placement-load", func() offload.Scheduler { return offload.NewPlacement() }, true},
 	}
-	for _, mk := range scheds {
+	for _, sc := range scheds {
 		for _, size := range sizes {
-			sched := mk()
-			gbps := schedThroughput(sched, size, 60)
-			t.Set(sched.Name(), float64(size), gbps)
+			pol := offload.DefaultPolicy()
+			pol.LoadAware = sc.loadAware
+			gbps := schedThroughput(sc.mk(), pol, size, 60)
+			t.Set(sc.name, float64(size), gbps)
 		}
 	}
 	t.Note("NUMA-local ≥ round-robin at every size: blind balancing pays the UPI hop on half the submissions (guideline: schedule for locality first)")
+	t.Note("placement-load ties placement on never-queued traffic: the load-aware detour engages only under backlog (see the skew experiment)")
 	return []*report.Table{t}
 }
 
 // schedThroughput measures GB/s of a socket-0 tenant running count
-// synchronous copies under the given scheduler.
-func schedThroughput(sched offload.Scheduler, size int64, count int) float64 {
+// synchronous copies under the given scheduler and policy.
+func schedThroughput(sched offload.Scheduler, pol offload.Policy, size int64, count int) float64 {
 	e := sim.New()
 	sys := mem.NewSystem(e, mem.SystemConfig{
 		Sockets: 2,
@@ -71,7 +80,7 @@ func schedThroughput(sched offload.Scheduler, size int64, count int) float64 {
 		wqs = append(wqs, dev.WQs()...)
 	}
 	svc, err := offload.NewService(e, sys, wqs,
-		offload.WithScheduler(sched), offload.WithCPUModel(cpu.SPRModel()))
+		offload.WithScheduler(sched), offload.WithPolicy(pol), offload.WithCPUModel(cpu.SPRModel()))
 	if err != nil {
 		panic(err)
 	}

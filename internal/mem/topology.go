@@ -21,7 +21,14 @@ type System struct {
 	// upi is the shared cross-socket bandwidth pipe (one per direction is
 	// not modelled; contention is symmetric in our experiments).
 	upi *sim.Pipe
+	// upiGBps records the configured link rate, exposed to placement
+	// policies that price a cross-socket detour (load-aware G4).
+	upiGBps float64
 }
+
+// UPIGBps returns the configured cross-socket link rate (zero when no UPI
+// pipe is modelled).
+func (s *System) UPIGBps() float64 { return s.upiGBps }
 
 // Socket groups the resources of one physical package.
 type Socket struct {
@@ -52,6 +59,7 @@ func NewSystem(e *sim.Engine, cfg SystemConfig) *System {
 	}
 	if cfg.UPIGBps > 0 {
 		s.upi = sim.NewPipe(e, cfg.UPIGBps)
+		s.upiGBps = cfg.UPIGBps
 	}
 	for i := 0; i < cfg.Sockets; i++ {
 		s.Sockets = append(s.Sockets, &Socket{ID: i, LLC: NewLLC(cfg.LLC)})
@@ -130,6 +138,27 @@ func (s *System) ReserveTrafficAt(t sim.Time, fromSocket int, n *Node, bytes int
 		}
 	}
 	return done
+}
+
+// HomeNode returns the memory node an agent on the given socket is
+// closest to: the socket's first DRAM node, its first node of any medium,
+// or — for a socket with no memory (or out of range) — the system's first
+// node. Returns nil only on a node-less system.
+func (s *System) HomeNode(socket int) *Node {
+	if socket >= 0 && socket < len(s.Sockets) {
+		for _, n := range s.Sockets[socket].Nodes {
+			if n.Kind == DRAM {
+				return n
+			}
+		}
+		if nodes := s.Sockets[socket].Nodes; len(nodes) > 0 {
+			return nodes[0]
+		}
+	}
+	if len(s.Nodes) > 0 {
+		return s.Nodes[0]
+	}
+	return nil
 }
 
 // SocketOf returns the socket structure with the given ID.

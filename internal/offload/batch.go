@@ -98,6 +98,14 @@ func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
 	default:
 		descs := b.descs
 		b.descs = nil
+		// One logical flush costs one admission token, however many
+		// per-socket sub-batches placement shards it into: splitting is a
+		// placement decision, not extra work, so the same batch must not
+		// cost more under Placement than under NUMALocal (a shed flush
+		// counts once in Stats.Shed).
+		if err := b.t.admit(p); err != nil {
+			return nil, err
+		}
 		groups := b.t.splitByHome(descs)
 		if groups == nil {
 			return b.t.submitSlice(p, descs, b.flags)
@@ -120,14 +128,17 @@ func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
 	}
 }
 
-// submitSlice submits one run of descriptors as a batch parent (or, for a
-// single descriptor, as a plain submission — the device's ≥2 rule).
+// submitSlice submits one run of an already-admitted flush as a batch
+// parent (or, for a single descriptor, as a plain submission — the
+// device's ≥2 rule).
 func (t *Tenant) submitSlice(p *sim.Proc, descs []dsa.Descriptor, flags dsa.Flags) (*Future, error) {
-	t.stats.Batches++
 	if len(descs) == 1 {
-		return t.submit(p, descs[0], flags)
+		// A lone descriptor goes plain and is not a batch descriptor —
+		// Stats.Batches counts real parents, matching flushSlice.
+		return t.submitAdmitted(p, descs[0], flags)
 	}
-	f, err := t.submit(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, flags)
+	t.stats.Batches++
+	f, err := t.submitAdmitted(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, flags)
 	if err == nil {
 		// The OpBatch parent carries Size 0; account the payload.
 		for _, d := range descs {
@@ -240,6 +251,16 @@ func (ab *AutoBatcher) Flush(p *sim.Proc) error {
 	ab.pending = nil
 	ab.futs = nil
 
+	// As in Batch.Submit, the whole logical flush is admitted once; a
+	// shed flush resolves every coalesced future with the error.
+	if err := ab.t.admit(p); err != nil {
+		for _, f := range futs {
+			f.ab = nil
+			f.done = true
+			f.err = err
+		}
+		return err
+	}
 	groups := ab.t.splitByHome(descs)
 	if groups == nil {
 		return ab.flushSlice(p, descs, futs)
@@ -259,18 +280,18 @@ func (ab *AutoBatcher) Flush(p *sim.Proc) error {
 	return firstErr
 }
 
-// flushSlice submits one run of coalesced descriptors as a batch (or a
-// plain descriptor when alone) and binds its pending futures to the
+// flushSlice submits one run of an already-admitted flush as a batch (or
+// a plain descriptor when alone) and binds its pending futures to the
 // completion through a shared batchWait. On submission failure the slice's
 // futures resolve with the error.
 func (ab *AutoBatcher) flushSlice(p *sim.Proc, descs []dsa.Descriptor, futs []*Future) error {
 	var parent *Future
 	var err error
 	if len(descs) == 1 {
-		parent, err = ab.t.submit(p, descs[0], 0)
+		parent, err = ab.t.submitAdmitted(p, descs[0], 0)
 	} else {
 		ab.t.stats.Batches++
-		parent, err = ab.t.submit(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, 0)
+		parent, err = ab.t.submitAdmitted(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, 0)
 	}
 	if err != nil {
 		for _, f := range futs {

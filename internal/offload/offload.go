@@ -33,6 +33,13 @@
 // priority partitions are precomputed on the Service (Topology) instead of
 // being re-derived per submission.
 //
+// Placement is load-aware on request (Policy.LoadAware): the WQ
+// occupancy/latency EWMAs roll up per socket through the Topology
+// (Service.SocketPressure, Topology.QueueDelay), and Pick blends the
+// data-home socket's queueing delay against remote candidates' plus the
+// UPI transfer penalty, detouring to an idle remote device exactly when
+// the paper's §3.3/§5 queueing-vs-crossing trade favors it.
+//
 //	svc, _ := offload.NewService(e, sys, wqs, offload.WithScheduler(offload.NewNUMALocal()))
 //	tn, _ := svc.NewTenant(offload.OnSocket(0))
 //	fut, _ := tn.Copy(p, dst, src, 1<<20)
@@ -79,11 +86,16 @@ type Service struct {
 	// latFloor is the best (smallest) per-WQ completion-latency EWMA the
 	// service has observed — the unloaded-device reference that Pressure
 	// measures latency inflation against. pressure memoizes the estimate
-	// for one virtual instant (path decisions read it repeatedly).
+	// for one virtual instant (path decisions read it repeatedly), and
+	// sockPressure does the same per socket for SocketPressure.
 	latFloor   sim.Time
 	pressure   float64
 	pressureAt sim.Time
 	pressureOK bool
+
+	sockPressure   []float64
+	sockPressureAt []sim.Time
+	sockPressureOK []bool
 
 	nextPASID int
 	nextCore  int
@@ -141,7 +153,14 @@ func (sv *Service) AddWQs(wqs ...*dsa.WQ) {
 			sv.maxBatch = wq.Dev.Cfg.MaxBatch
 		}
 	}
-	sv.topo = newTopology(sv.wqs, len(sv.Sys.Sockets))
+	sv.topo = newTopology(sv.wqs, sv.Sys)
+	// The per-socket pools changed; drop the memoized pressure estimates
+	// and re-size the per-socket slots.
+	sv.pressureOK = false
+	n := sv.topo.Sockets()
+	sv.sockPressure = make([]float64, n)
+	sv.sockPressureAt = make([]sim.Time, n)
+	sv.sockPressureOK = make([]bool, n)
 }
 
 // WQs returns the service's submission targets.

@@ -13,6 +13,7 @@ package offload
 import (
 	"dsasim/internal/dsa"
 	"dsasim/internal/mem"
+	"dsasim/internal/sim"
 )
 
 // DataAware marks schedulers that route on the request's SrcNode/DstNode
@@ -67,11 +68,88 @@ func (s *Placement) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
 	if !ok {
 		socket = req.Socket
 	}
+	if req.LoadAware && ok && req.Topo != nil {
+		socket = s.loadAwareSocket(req, socket)
+	}
 	s.next = (s.next + 1) % len(wqs)
 	if s.qos {
 		return pickExpress(req, socket, wqs, s.next)
 	}
 	return leastLoadedOf(req.localPool(socket, wqs), s.next)
+}
+
+// loadAwareSocket blends the data-home socket's backlog against remote
+// candidates (the paper's §3.3/§5 point that queueing delay on a
+// saturated WQ quickly dwarfs the UPI penalty): serving the request from
+// candidate socket c costs the estimated queueing delay of c's pool
+// (latency EWMA × occupancy, Topology.QueueDelay) plus the UPI transfer
+// penalty for every data leg homed off c. The data's home wins ties, so
+// an unloaded system routes exactly like data-only placement; a deeply
+// backlogged local device loses to an idle remote one exactly when the
+// model says the detour is cheaper. Requests without placement
+// information never take this path — their detour cannot be priced.
+func (s *Placement) loadAwareSocket(req Request, home int) int {
+	topo := req.Topo
+	best, bestCost := home, s.socketCost(req, home)
+	for c := 0; c < topo.Sockets(); c++ {
+		if c == home || !topo.HasLocal(c) {
+			continue
+		}
+		if cost := s.socketCost(req, c); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best
+}
+
+// socketCost prices serving req from a device on the given socket: the
+// queueing delay of the pool the pick would actually use (the express or
+// bulk partition under QoS composition) plus the cross-socket transfer
+// penalty of each remote data leg.
+func (s *Placement) socketCost(req Request, socket int) sim.Time {
+	topo := req.Topo
+	pool := topo.Local(socket)
+	if s.qos {
+		if express, rest := topo.Split(socket); len(rest) > 0 {
+			if req.Class == LatencySensitive {
+				pool = express
+			} else {
+				pool = rest
+			}
+		}
+	}
+	return queueDelayOf(pool) + upiPenalty(req, socket, topo)
+}
+
+// upiPenalty estimates the extra virtual time a device on devSocket pays
+// to move req's data compared to a device adjacent to it: each leg homed
+// on another socket crosses UPI, adding the hop latency plus the
+// serialization slowdown when the shared link is narrower than the leg's
+// node pipe (priced from the mem.Node bandwidths — Fig 6a's roughly
+// halved cross-socket throughput falls out of the 62-vs-120 GB/s gap).
+func upiPenalty(req Request, devSocket int, topo *Topology) sim.Time {
+	return legPenalty(req.SrcNode, req.Size, devSocket, topo, false) +
+		legPenalty(req.DstNode, req.Size, devSocket, topo, true)
+}
+
+// legPenalty prices one remote data leg: zero when the leg is unknown or
+// local to the device's socket.
+func legPenalty(n *mem.Node, size int64, devSocket int, topo *Topology, write bool) sim.Time {
+	if n == nil || n.Socket == devSocket {
+		return 0
+	}
+	pen := topo.upiLat
+	bw := n.ReadGBps()
+	if write {
+		bw = n.WriteGBps()
+	}
+	if topo.upiGBps > 0 && (bw <= 0 || topo.upiGBps < bw) {
+		pen += sim.GBps(size, topo.upiGBps)
+		if bw > 0 {
+			pen -= sim.GBps(size, bw)
+		}
+	}
+	return pen
 }
 
 // dataSocket resolves the socket a (src, dst) data-home pair places a

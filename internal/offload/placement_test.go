@@ -2,6 +2,7 @@ package offload_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -394,6 +395,11 @@ func TestPickZeroAllocs(t *testing.T) {
 		{Socket: 1, Topo: topo, SrcNode: node1, DstNode: node1},
 		{Socket: 0, Topo: topo, SrcNode: node0, DstNode: node1},
 		{Socket: 1, Class: offload.LatencySensitive, Topo: topo},
+		// The load-aware path runs the per-socket cost model on every
+		// Pick; it must stay allocation-free too.
+		{Socket: 0, Topo: topo, SrcNode: node0, DstNode: node0, LoadAware: true, Size: 256 << 10},
+		{Socket: 1, Topo: topo, SrcNode: node0, DstNode: node1, LoadAware: true, Size: 64 << 10},
+		{Socket: 0, Class: offload.LatencySensitive, Topo: topo, SrcNode: node1, DstNode: node1, LoadAware: true, Size: 16 << 10},
 	}
 	scheds := []offload.Scheduler{
 		offload.NewNUMALocal(),
@@ -423,16 +429,22 @@ func TestPickZeroAllocs(t *testing.T) {
 }
 
 // BenchmarkPick measures the scheduler hot path; run with -benchmem to see
-// the zero allocs/op the precomputed topology buys.
+// the zero allocs/op the precomputed topology buys. The placement-load
+// variant exercises the per-socket cost model on every pick.
 func BenchmarkPick(b *testing.B) {
-	for _, mk := range []func() offload.Scheduler{
-		func() offload.Scheduler { return offload.NewNUMALocal() },
-		func() offload.Scheduler { return offload.NewLeastLoaded() },
-		func() offload.Scheduler { return offload.NewPlacement() },
-		func() offload.Scheduler { return offload.NewPriorityAware() },
+	for _, bc := range []struct {
+		name      string
+		mk        func() offload.Scheduler
+		loadAware bool
+	}{
+		{"numa-local", func() offload.Scheduler { return offload.NewNUMALocal() }, false},
+		{"least-loaded", func() offload.Scheduler { return offload.NewLeastLoaded() }, false},
+		{"placement", func() offload.Scheduler { return offload.NewPlacement() }, false},
+		{"placement-load", func() offload.Scheduler { return offload.NewPlacement() }, true},
+		{"priority-aware", func() offload.Scheduler { return offload.NewPriorityAware() }, false},
 	} {
-		sched := mk()
-		b.Run(sched.Name(), func(b *testing.B) {
+		sched := bc.mk()
+		b.Run(bc.name, func(b *testing.B) {
 			e := sim.New()
 			sys := mem.NewSystem(e, mem.SystemConfig{
 				Sockets: 2,
@@ -466,10 +478,12 @@ func BenchmarkPick(b *testing.B) {
 				b.Fatal(err)
 			}
 			req := offload.Request{
-				Socket:  0,
-				Topo:    svc.Topology(),
-				SrcNode: sys.Node(0),
-				DstNode: sys.Node(1),
+				Socket:    0,
+				Topo:      svc.Topology(),
+				SrcNode:   sys.Node(0),
+				DstNode:   sys.Node(1),
+				Size:      64 << 10,
+				LoadAware: bc.loadAware,
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -481,5 +495,150 @@ func BenchmarkPick(b *testing.B) {
 			}
 			_ = devs
 		})
+	}
+}
+
+// Load-aware placement (Policy.LoadAware): with the data's home device
+// backlogged and the remote device idle, submissions detour across UPI
+// once the modelled queueing delay (latency EWMA × occupancy) exceeds the
+// transfer penalty — and never detour when the policy is off.
+func TestLoadAwarePlacementDetoursUnderBacklog(t *testing.T) {
+	for _, loadAware := range []bool{false, true} {
+		pol := offload.DefaultPolicy()
+		pol.LoadAware = loadAware
+		r := newRig(t, 2)
+		svc := r.service(t, offload.WithScheduler(offload.NewPlacement()), offload.WithPolicy(pol))
+		tn, err := svc.NewTenant(offload.OnSocket(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(256 << 10)
+		src := tn.AllocOn(0, n) // all data homed on socket 0
+		dst := tn.AllocOn(0, n)
+		r.run(func(p *sim.Proc) {
+			// Warmup: one synchronous copy gives the socket-0 WQ a
+			// completion-latency history to price the backlog with.
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+				return
+			}
+			// Burst without waiting: occupancy builds on the home device.
+			var futs []*offload.Future
+			for i := 0; i < 24; i++ {
+				f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				futs = append(futs, f)
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(p, offload.Poll); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		remote := r.devs[1].Stats().Submitted
+		if loadAware && remote == 0 {
+			t.Errorf("load-aware: no submission detoured to the idle socket-1 device under backlog")
+		}
+		if !loadAware && remote != 0 {
+			t.Errorf("data-only: %d submissions left the data's socket", remote)
+		}
+		if home := r.devs[0].Stats().Submitted; home == 0 {
+			t.Errorf("loadAware=%v: home device saw no traffic", loadAware)
+		}
+	}
+}
+
+// An unloaded system must route load-aware placement exactly like
+// data-only placement: the data's home wins every tie, so sequential
+// (never-queued) traffic pays no UPI detour.
+func TestLoadAwarePlacementIdleMatchesDataOnly(t *testing.T) {
+	pol := offload.DefaultPolicy()
+	pol.LoadAware = true
+	r := newRig(t, 2)
+	svc := r.service(t, offload.WithScheduler(offload.NewPlacement()), offload.WithPolicy(pol))
+	tn, err := svc.NewTenant(offload.OnSocket(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(64 << 10)
+	src := tn.AllocOn(0, n)
+	dst := tn.AllocOn(0, n)
+	r.run(func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if got := r.devs[1].Stats().Submitted; got != 0 {
+		t.Fatalf("idle load-aware placement sent %d descriptors off the data's socket", got)
+	}
+	if got := r.devs[0].Stats().Submitted; got != 8 {
+		t.Fatalf("data's device saw %d descriptors, want 8", got)
+	}
+}
+
+// A mixed-home flush sharded into per-socket sub-batches costs exactly
+// one admission token: the same logical work must not cost more under
+// Placement (split on) than under NUMALocal (never splits).
+func TestSplitFlushChargesAdmissionOnce(t *testing.T) {
+	r := cxlRig(t)
+	pol := offload.DefaultPolicy()
+	pol.AdmitRate = 1 // no meaningful refill within the test
+	pol.AdmitBurst = 2
+	svc := r.service(t, offload.WithScheduler(offload.NewPlacement()), offload.WithPolicy(pol))
+	tn, err := svc.NewTenant(offload.OnSocket(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(64 << 10)
+	s0src, s0dst := tn.AllocOn(0, 2*n), tn.AllocOn(0, 2*n)
+	s1src, s1dst := tn.AllocOn(1, 2*n), tn.AllocOn(1, 2*n)
+	mixedBatch := func() *offload.Batch {
+		return tn.NewBatch().
+			Copy(s0dst.Addr(0), s0src.Addr(0), n).
+			Copy(s0dst.Addr(n), s0src.Addr(n), n).
+			Copy(s1dst.Addr(0), s1src.Addr(0), n).
+			Copy(s1dst.Addr(n), s1src.Addr(n), n)
+	}
+	r.run(func(p *sim.Proc) {
+		// Two splitting flushes ride the burst of two tokens — under the
+		// old per-sub-batch charge the second flush would already be shed.
+		for i := 0; i < 2; i++ {
+			f, err := mixedBatch().Submit(p)
+			if err != nil {
+				t.Errorf("flush %d rejected: %v", i, err)
+				return
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+			}
+		}
+		// The bucket is empty: the third logical flush is shed whole.
+		if _, err := mixedBatch().Submit(p); err == nil {
+			t.Error("third flush admitted past a burst of 2")
+		} else if !errors.Is(err, offload.ErrAdmission) {
+			t.Errorf("error %v does not wrap ErrAdmission", err)
+		}
+	})
+	st := tn.Stats()
+	if st.Splits != 4 {
+		t.Errorf("Splits = %d, want 4 (two admitted flushes × two sub-batches)", st.Splits)
+	}
+	if st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1 (shed per logical flush, not per sub-batch)", st.Shed)
 	}
 }

@@ -36,10 +36,12 @@ type Policy struct {
 
 	// AdmitRate, when positive, rate-limits this tenant's hardware
 	// submissions with a token bucket: tokens accrue at AdmitRate per
-	// second of virtual time, and each work or batch-parent descriptor
-	// costs one. Zero (the default) disables admission control. This is
-	// the shared-WQ fairness knob: a bulk tenant's burst is shed or
-	// delayed before it occupies slots a latency-sensitive tenant needs.
+	// second of virtual time, and each logical submission — a work
+	// descriptor, or one batch flush regardless of how many per-socket
+	// sub-batches placement shards it into — costs one. Zero (the
+	// default) disables admission control. This is the shared-WQ
+	// fairness knob: a bulk tenant's burst is shed or delayed before it
+	// occupies slots a latency-sensitive tenant needs.
 	AdmitRate float64
 
 	// AdmitBurst is the bucket capacity — the submissions a tenant may
@@ -56,6 +58,17 @@ type Policy struct {
 	// AutoBatcher and flush as one batch descriptor once AutoBatch
 	// operations accumulate (or on Flush/Wait).
 	AutoBatch int
+
+	// LoadAware lets the Placement scheduler leave the data's home socket
+	// when it is backlogged: per-socket queueing-delay estimates (WQ
+	// latency EWMA × occupancy, rolled up through the service Topology)
+	// are blended against the UPI transfer penalty of each remote data
+	// leg, so a saturated local device loses to an idle remote one
+	// exactly when the detour is cheaper (§3.3/§5: queueing delay dwarfs
+	// the cross-socket penalty long before the link saturates). Off by
+	// default: data-only placement is deterministic and optimal under
+	// even load.
+	LoadAware bool
 
 	// SplitBatches lets the batch paths shard a mixed-home flush into
 	// per-socket sub-batches, each routed to a device local to its
@@ -103,6 +116,6 @@ type Stats struct {
 	Coalesce int64 // operations absorbed into auto-batches
 	Splits   int64 // per-socket sub-batches created from mixed-home flushes
 	Failures int64 // submissions or completions that returned errors
-	Shed     int64 // hardware submissions rejected by admission control
-	Delayed  int64 // hardware submissions delayed by admission control
+	Shed     int64 // logical flushes rejected by admission control
+	Delayed  int64 // logical flushes delayed by admission control
 }

@@ -208,9 +208,41 @@ func (sv *Service) Pressure() float64 {
 	if now := sv.E.Now(); sv.pressureOK && sv.pressureAt == now {
 		return sv.pressure
 	}
+	p := sv.pressureOver(sv.wqs)
+	sv.pressure, sv.pressureAt, sv.pressureOK = p, sv.E.Now(), true
+	return p
+}
+
+// SocketPressure is the per-socket counterpart of Pressure: the same WQ
+// occupancy/latency EWMAs rolled up through the precomputed Topology, but
+// restricted to the WQs local to the given socket. Under uniform load
+// every socket converges to the aggregate Pressure(); under skew the
+// estimates diverge — the signal the load-aware placement path and the
+// per-socket adaptive threshold act on. A socket with no local device
+// reports the aggregate (its submissions fall back to the full WQ set).
+func (sv *Service) SocketPressure(socket int) float64 {
+	if sv.topo == nil || !sv.topo.HasLocal(socket) {
+		return sv.Pressure()
+	}
+	if now := sv.E.Now(); sv.sockPressureOK[socket] && sv.sockPressureAt[socket] == now {
+		return sv.sockPressure[socket]
+	}
+	p := sv.pressureOver(sv.topo.Local(socket))
+	sv.sockPressure[socket], sv.sockPressureAt[socket], sv.sockPressureOK[socket] = p, sv.E.Now(), true
+	return p
+}
+
+// pressureOver computes the saturation estimate for one WQ pool. The
+// latency floor (the unloaded reference) stays service-wide: the best
+// completion latency any WQ ever delivered is the fair baseline to
+// measure every socket's inflation against.
+func (sv *Service) pressureOver(wqs []*dsa.WQ) float64 {
+	if len(wqs) == 0 {
+		return 0
+	}
 	var occ float64
 	var worst sim.Time
-	for _, wq := range sv.wqs {
+	for _, wq := range wqs {
 		o := wq.OccupancyEWMA()
 		if inst := float64(wq.Occupancy()) / float64(wq.Size); inst > o {
 			o = inst
@@ -225,7 +257,7 @@ func (sv *Service) Pressure() float64 {
 			}
 		}
 	}
-	p := occ / float64(len(sv.wqs))
+	p := occ / float64(len(wqs))
 	if sv.latFloor > 0 && worst > sv.latFloor {
 		lp := (float64(worst)/float64(sv.latFloor) - 1) / (adaptLatSaturate - 1)
 		if lp > p {
@@ -235,20 +267,28 @@ func (sv *Service) Pressure() float64 {
 	if p > 1 {
 		p = 1
 	}
-	sv.pressure, sv.pressureAt, sv.pressureOK = p, sv.E.Now(), true
 	return p
 }
 
 // EffectiveThreshold resolves the tenant's G2 size floor for this instant:
 // the static Policy.OffloadThreshold unless AdaptiveThreshold is set, in
 // which case device pressure scales it between half (idle) and
-// adaptMaxScale× (saturated) the base value.
+// adaptMaxScale× (saturated) the base value. Under a tenant-socket-routed
+// scheduler the pressure read is the tenant's socket's (SocketPressure):
+// a tenant next to an idle device should not shed small operations
+// because the other socket's DSA is drowning. A data-aware scheduler
+// routes by each descriptor's home, which this size-only decision cannot
+// know, so it keeps the aggregate estimate rather than guessing a socket
+// that may not serve the operation.
 func (t *Tenant) EffectiveThreshold() int64 {
 	base := t.policy.OffloadThreshold
 	if !t.policy.AdaptiveThreshold || base <= 0 {
 		return base
 	}
 	p := t.S.Pressure()
+	if !t.S.dataAware {
+		p = t.S.SocketPressure(t.Core.Socket)
+	}
 	switch {
 	case p <= adaptIdle:
 		return int64(float64(base) * adaptIdleScale)

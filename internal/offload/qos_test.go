@@ -272,3 +272,54 @@ func TestAdaptiveThresholdTracksDevicePressure(t *testing.T) {
 		t.Fatalf("no operation was shed to the core: %+v", st)
 	}
 }
+
+// occupy queues descriptors on a WQ without running the engine, building
+// instantaneous occupancy the pressure estimators must see.
+func occupy(t *testing.T, wq *dsa.WQ, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := wq.Submit(dsa.Descriptor{Op: dsa.OpNop}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Per-socket pressure must diverge under uneven load: with only the
+// socket-0 device backlogged, SocketPressure(0) sits above the aggregate
+// Pressure(), which in turn sits above the idle socket's estimate.
+func TestSocketPressureDivergesUnderSkew(t *testing.T) {
+	r := newRig(t, 2)
+	svc := r.service(t)
+	occupy(t, r.devs[0].WQs()[0], 16) // half-fill socket 0's 32-entry WQ
+	p0 := svc.SocketPressure(0)
+	p1 := svc.SocketPressure(1)
+	agg := svc.Pressure()
+	if !(p0 > agg && agg > p1) {
+		t.Fatalf("skewed pressure not ordered: socket0 %.3f, aggregate %.3f, socket1 %.3f", p0, agg, p1)
+	}
+	if p1 != 0 {
+		t.Fatalf("idle socket pressure = %.3f, want 0", p1)
+	}
+}
+
+// Under uniform load every socket's estimate converges to the aggregate.
+func TestSocketPressureConvergesUnderUniformLoad(t *testing.T) {
+	r := newRig(t, 2)
+	svc := r.service(t)
+	occupy(t, r.devs[0].WQs()[0], 12)
+	occupy(t, r.devs[1].WQs()[0], 12)
+	p0 := svc.SocketPressure(0)
+	p1 := svc.SocketPressure(1)
+	agg := svc.Pressure()
+	if p0 != p1 || p0 != agg {
+		t.Fatalf("uniform pressure diverged: socket0 %.3f, socket1 %.3f, aggregate %.3f", p0, p1, agg)
+	}
+	if p0 == 0 {
+		t.Fatal("uniform backlog reported zero pressure")
+	}
+	// A socket with no local device reports the aggregate: its traffic
+	// falls back to the full WQ set.
+	if got := svc.SocketPressure(7); got != agg {
+		t.Fatalf("device-less socket pressure = %.3f, want aggregate %.3f", got, agg)
+	}
+}

@@ -21,6 +21,12 @@ type Request struct {
 	SrcNode *mem.Node
 	DstNode *mem.Node
 
+	// LoadAware lets a data-aware scheduler trade the data's home for a
+	// less backlogged socket when its cost model says the UPI detour is
+	// cheaper than the queueing delay (Policy.LoadAware; the service
+	// fills it from the submitting tenant's policy).
+	LoadAware bool
+
 	// Topo is the service's precomputed WQ placement index. The service
 	// fills it on every submission; direct Pick callers may leave it nil,
 	// in which case schedulers derive (and allocate) the subsets per call.

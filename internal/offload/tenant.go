@@ -158,7 +158,13 @@ func (t *Tenant) admit(p *sim.Proc) error {
 // home socket before submitting (batch.go), so any child's home is the
 // slice's.
 func (t *Tenant) request(d *dsa.Descriptor) Request {
-	req := Request{Socket: t.Core.Socket, Class: t.class, Size: d.Size, Topo: t.S.topo}
+	req := Request{
+		Socket:    t.Core.Socket,
+		Class:     t.class,
+		Size:      d.Size,
+		Topo:      t.S.topo,
+		LoadAware: t.policy.LoadAware,
+	}
 	if !t.S.dataAware {
 		// No scheduler will read the data homes; skip the lookups.
 		return req
@@ -198,11 +204,20 @@ func (t *Tenant) dataHome(d *dsa.Descriptor) int {
 // shed or delayed submission never occupies a queue slot; bounded-retry
 // policies surface dsa.ErrWQFull through the error.
 func (t *Tenant) submit(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future, error) {
-	d.PASID = t.AS.PASID
-	d.Flags |= t.policy.Flags | flags
 	if err := t.admit(p); err != nil {
 		return nil, err
 	}
+	return t.submitAdmitted(p, d, flags)
+}
+
+// submitAdmitted is submit past the admission gate. The batch paths call
+// it directly for the sub-batches of one already-admitted logical flush:
+// a split flush is the same logical work as an unsplit one and must cost
+// the same single token (Policy.SplitBatches is a placement knob, not an
+// extra submission).
+func (t *Tenant) submitAdmitted(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future, error) {
+	d.PASID = t.AS.PASID
+	d.Flags |= t.policy.Flags | flags
 	wq := t.S.sched.Pick(t.request(&d), t.S.wqs)
 	if wq == nil {
 		return nil, fmt.Errorf("offload: scheduler %q returned no work queue", t.S.sched.Name())

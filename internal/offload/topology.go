@@ -2,6 +2,8 @@ package offload
 
 import (
 	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/sim"
 )
 
 // Topology is the service's precomputed placement index over its work
@@ -11,6 +13,12 @@ import (
 // path never re-derives (or re-allocates) these subsets per Pick — the
 // old localWQs/splitByPriority calls allocated fresh slices on every
 // submission.
+//
+// The index also carries the interconnect prices the load-aware cost
+// model reads (Placement.Pick with Request.LoadAware): the UPI hop
+// latency and link rate, captured from the memory system at build time.
+// Per-socket load signals (QueueDelay, and Service.SocketPressure above
+// it) roll the live WQ occupancy/latency EWMAs up through these subsets.
 type Topology struct {
 	all []*dsa.WQ
 	// Indexed by socket id; a socket with no local device holds nil and
@@ -21,11 +29,25 @@ type Topology struct {
 	// Full-set partition, used when a socket has no local device.
 	allExpress []*dsa.WQ
 	allRest    []*dsa.WQ
+
+	// upiLat and upiGBps price a cross-socket detour for the load-aware
+	// placement path: the added hop latency and the shared link's
+	// serialization rate (zero when the system models no UPI pipe).
+	upiLat  sim.Time
+	upiGBps float64
 }
 
-// newTopology indexes wqs by device socket. sockets is the platform socket
-// count; devices on sockets beyond it extend the index.
-func newTopology(wqs []*dsa.WQ, sockets int) *Topology {
+// newTopology indexes wqs by device socket over the system's sockets;
+// devices on sockets beyond the platform count extend the index.
+func newTopology(wqs []*dsa.WQ, sys *mem.System) *Topology {
+	sockets := 0
+	var upiLat sim.Time
+	var upiGBps float64
+	if sys != nil {
+		sockets = len(sys.Sockets)
+		upiLat = sys.UPILat
+		upiGBps = sys.UPIGBps()
+	}
 	for _, wq := range wqs {
 		if s := wq.Dev.Cfg.Socket + 1; s > sockets {
 			sockets = s
@@ -36,6 +58,8 @@ func newTopology(wqs []*dsa.WQ, sockets int) *Topology {
 		local:   make([][]*dsa.WQ, sockets),
 		express: make([][]*dsa.WQ, sockets),
 		rest:    make([][]*dsa.WQ, sockets),
+		upiLat:  upiLat,
+		upiGBps: upiGBps,
 	}
 	for _, wq := range wqs {
 		s := wq.Dev.Cfg.Socket
@@ -77,4 +101,30 @@ func (t *Topology) Split(socket int) (express, rest []*dsa.WQ) {
 		return t.allExpress, t.allRest
 	}
 	return t.express[socket], t.rest[socket]
+}
+
+// QueueDelay rolls the socket's live WQ state up into the estimated
+// virtual time a new submission would wait behind the backlog of the
+// socket's best (least-backlogged) WQ: the per-descriptor completion-
+// latency EWMA times the occupancy. A socket with no local device reports
+// the full set's best, matching where its submissions would fall back to.
+func (t *Topology) QueueDelay(socket int) sim.Time {
+	return queueDelayOf(t.Local(socket))
+}
+
+// queueDelayOf estimates the queueing delay of the best WQ in pool:
+// occupancy (descriptors accepted but not yet completed ahead of a new
+// arrival) times the smoothed per-descriptor completion latency. A WQ
+// with no latency history yet estimates zero — the model needs at least
+// one completion before a backlog is priced, which the EWMAs deliver
+// within the first handful of descriptors.
+func queueDelayOf(pool []*dsa.WQ) sim.Time {
+	var best sim.Time
+	for i, wq := range pool {
+		est := wq.LatencyEWMA() * sim.Time(wq.Occupancy())
+		if i == 0 || est < best {
+			best = est
+		}
+	}
+	return best
 }

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Gate asserts one speedup of a benchmark trajectory: the ratio of the
+// Series point's y over the Against point's y, at the row labelled X of
+// table Table in experiment Experiment. CI compares the ratio measured
+// from the current BENCH_<id>.json files against the one recorded in the
+// committed baselines and fails when it regressed by more than the
+// threshold — the gate tracks the *speedup*, not raw GB/s, so a uniform
+// cost-model recalibration moves both series and passes, while a change
+// that erodes what the experiment asserts (placement beating numa-local,
+// load-aware beating data-only) fails.
+type Gate struct {
+	Experiment string `json:"experiment"`
+	Table      string `json:"table"`
+	X          string `json:"x"`       // categorical x label (BenchPoint.Label)
+	Series     string `json:"series"`  // numerator: the series whose win is asserted
+	Against    string `json:"against"` // denominator: the baseline series it must beat
+	Note       string `json:"note,omitempty"`
+}
+
+// String renders the gate's identity for reports.
+func (g Gate) String() string {
+	return fmt.Sprintf("%s/%s[%s] %s vs %s", g.Experiment, g.Table, g.X, g.Series, g.Against)
+}
+
+// GateFile is the committed list of asserted speedups (bench/gates.json).
+type GateFile struct {
+	Gates []Gate `json:"gates"`
+}
+
+// ParseGates decodes a gates file.
+func ParseGates(data []byte) ([]Gate, error) {
+	var gf GateFile
+	if err := json.Unmarshal(data, &gf); err != nil {
+		return nil, fmt.Errorf("report: parsing gates: %w", err)
+	}
+	if len(gf.Gates) == 0 {
+		return nil, fmt.Errorf("report: gates file asserts nothing")
+	}
+	return gf.Gates, nil
+}
+
+// GateResult is one gate's verdict.
+type GateResult struct {
+	Gate
+	Baseline float64 // the speedup recorded in the committed baseline
+	Current  float64 // the speedup measured from the current run
+	Failed   bool
+	Reason   string // why the gate failed (regression or missing data)
+}
+
+// CompareGates evaluates every gate against the baseline and current
+// BENCH documents (keyed by experiment id). maxRegression is the allowed
+// fractional drop of each asserted speedup (0.15 = fail below 85% of the
+// baseline ratio). Missing experiments, tables, or points fail the gate:
+// a silently skipped assertion is a regression in disguise.
+func CompareGates(gates []Gate, baseline, current map[string]BenchDoc, maxRegression float64) []GateResult {
+	results := make([]GateResult, 0, len(gates))
+	for _, g := range gates {
+		r := GateResult{Gate: g}
+		base, err := speedupOf(g, baseline)
+		if err != nil {
+			r.Failed, r.Reason = true, fmt.Sprintf("baseline: %v", err)
+			results = append(results, r)
+			continue
+		}
+		cur, err := speedupOf(g, current)
+		if err != nil {
+			r.Failed, r.Reason = true, fmt.Sprintf("current: %v", err)
+			results = append(results, r)
+			continue
+		}
+		r.Baseline, r.Current = base, cur
+		if cur < (1-maxRegression)*base {
+			r.Failed = true
+			r.Reason = fmt.Sprintf("speedup %.2fx below %.0f%% of baseline %.2fx",
+				cur, (1-maxRegression)*100, base)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// speedupOf resolves one gate's ratio from a document set.
+func speedupOf(g Gate, docs map[string]BenchDoc) (float64, error) {
+	doc, ok := docs[g.Experiment]
+	if !ok {
+		return 0, fmt.Errorf("no BENCH document for experiment %q", g.Experiment)
+	}
+	var tbl *BenchTable
+	for i := range doc.Tables {
+		if doc.Tables[i].ID == g.Table {
+			tbl = &doc.Tables[i]
+			break
+		}
+	}
+	if tbl == nil {
+		return 0, fmt.Errorf("experiment %q has no table %q", g.Experiment, g.Table)
+	}
+	num, err := pointY(tbl, g.Series, g.X)
+	if err != nil {
+		return 0, err
+	}
+	den, err := pointY(tbl, g.Against, g.X)
+	if err != nil {
+		return 0, err
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("table %q point (%s, %s) is zero", g.Table, g.Against, g.X)
+	}
+	return num / den, nil
+}
+
+// pointY finds the y of (series, x label) in a table.
+func pointY(tbl *BenchTable, series, label string) (float64, error) {
+	for _, p := range tbl.Points {
+		if p.Series == series && p.Label == label {
+			return p.Y, nil
+		}
+	}
+	return 0, fmt.Errorf("table %q has no point (%s, %s)", tbl.ID, series, label)
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// doc builds a one-table BenchDoc with the placement-experiment shape.
+func doc(id string, ys map[string]float64) BenchDoc {
+	tbl := BenchTable{ID: id}
+	for key, y := range ys {
+		// key is "series/xlabel".
+		parts := strings.SplitN(key, "/", 2)
+		tbl.Points = append(tbl.Points, BenchPoint{Series: parts[0], Label: parts[1], Y: y})
+	}
+	return BenchDoc{Experiment: id, Tables: []BenchTable{tbl}}
+}
+
+func TestCompareGatesPassAndFail(t *testing.T) {
+	g := Gate{Experiment: "placement", Table: "placement", X: "skew", Series: "placement-load", Against: "placement"}
+	baseline := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-load/skew": 56.0, "placement/skew": 30.0}),
+	}
+
+	// Current run preserves the ~1.87x speedup (raw numbers may shift).
+	pass := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-load/skew": 46.0, "placement/skew": 25.0}),
+	}
+	res := CompareGates([]Gate{g}, baseline, pass, 0.15)
+	if len(res) != 1 || res[0].Failed {
+		t.Fatalf("preserved speedup failed the gate: %+v", res)
+	}
+
+	// An injected regression: the load-aware win collapses to 1.2x,
+	// a >15% drop from the asserted 1.87x.
+	fail := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-load/skew": 36.0, "placement/skew": 30.0}),
+	}
+	res = CompareGates([]Gate{g}, baseline, fail, 0.15)
+	if len(res) != 1 || !res[0].Failed {
+		t.Fatalf("collapsed speedup passed the gate: %+v", res)
+	}
+	if res[0].Reason == "" {
+		t.Fatal("failed gate carries no reason")
+	}
+
+	// Exactly at the threshold edge: 85% of baseline passes, just below
+	// fails.
+	edge := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-load/skew": 30.0 * 0.85 * 56.0 / 30.0, "placement/skew": 30.0}),
+	}
+	res = CompareGates([]Gate{g}, baseline, edge, 0.15)
+	if res[0].Failed {
+		t.Fatalf("speedup at exactly 85%% of baseline failed: %+v", res[0])
+	}
+}
+
+func TestCompareGatesMissingDataFails(t *testing.T) {
+	g := Gate{Experiment: "placement", Table: "placement", X: "skew", Series: "placement-load", Against: "placement"}
+	full := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-load/skew": 56.0, "placement/skew": 30.0}),
+	}
+	cases := []struct {
+		name    string
+		current map[string]BenchDoc
+	}{
+		{"missing experiment", map[string]BenchDoc{}},
+		{"missing table", map[string]BenchDoc{"placement": {Experiment: "placement"}}},
+		{"missing series point", map[string]BenchDoc{
+			"placement": doc("placement", map[string]float64{"placement/skew": 30.0}),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := CompareGates([]Gate{g}, full, tc.current, 0.15)
+			if len(res) != 1 || !res[0].Failed {
+				t.Fatalf("gate with %s passed: %+v", tc.name, res)
+			}
+		})
+	}
+}
+
+func TestParseGates(t *testing.T) {
+	gates, err := ParseGates([]byte(`{"gates":[{"experiment":"skew","table":"skew","x":"16","series":"placement-load","against":"placement"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 1 || gates[0].Series != "placement-load" {
+		t.Fatalf("parsed gates = %+v", gates)
+	}
+	if _, err := ParseGates([]byte(`{"gates":[]}`)); err == nil {
+		t.Fatal("empty gates file accepted")
+	}
+	if _, err := ParseGates([]byte(`not json`)); err == nil {
+		t.Fatal("malformed gates file accepted")
+	}
+}

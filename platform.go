@@ -143,6 +143,24 @@ func SPRPlacement() Profile {
 	return pr
 }
 
+// SPRSkew returns the placement profile hardened for skewed load: on top
+// of SPRPlacement's one-DSA-per-socket layout, the default policy turns
+// on load-aware placement (offload.Policy.LoadAware), so a tenant whose
+// data all lives next to a backlogged device detours across UPI to the
+// idle socket's DSA exactly when the modelled queueing delay (WQ latency
+// EWMA × occupancy, Service.SocketPressure's signals) exceeds the
+// transfer penalty. Use it when tenants' data placement is lopsided —
+// one hot socket, one cold — and raw service throughput matters more
+// than strict data locality.
+func SPRSkew() Profile {
+	pr := SPRPlacement()
+	pr.Name = "SPR-Skew"
+	pol := offload.DefaultPolicy()
+	pol.LoadAware = true
+	pr.Policy = &pol
+	return pr
+}
+
 // ICX returns the Ice Lake predecessor profile: 40 cores, 57 MB LLC, six
 // DDR4 channels, and a CBDMA engine instead of DSA (Table 2).
 func ICX() Profile {

@@ -305,6 +305,58 @@ func TestSPRPlacementProfileWiring(t *testing.T) {
 	}
 }
 
+// TestSPRSkewProfileWiring checks the load-aware profile end to end: the
+// placement layout with LoadAware defaulted on, so a burst against one
+// backlogged socket spills onto the idle socket's device.
+func TestSPRSkewProfileWiring(t *testing.T) {
+	pl := NewPlatform(SPRSkew())
+	if len(pl.Devices) != 2 {
+		t.Fatalf("devices = %d, want 2", len(pl.Devices))
+	}
+	if got := pl.Offload.Scheduler().Name(); got != "placement" {
+		t.Fatalf("scheduler = %q, want placement", got)
+	}
+	if !pl.Offload.Policy().LoadAware {
+		t.Fatal("SPRSkew default policy must set LoadAware")
+	}
+	tn := pl.NewTenant()
+	n := int64(256 << 10)
+	src := tn.AllocOn(0, n) // all data on socket 0 — the skew
+	dst := tn.AllocOn(0, n)
+	pl.Run(func(p *sim.Proc) {
+		// Warmup builds the latency history the cost model prices with.
+		f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Wait(p, offload.Poll); err != nil {
+			t.Error(err)
+			return
+		}
+		var futs []*offload.Future
+		for i := 0; i < 24; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			futs = append(futs, f)
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if got := pl.Devices[1].Stats().Submitted; got == 0 {
+		t.Error("no submission detoured to the idle socket-1 device under backlog")
+	}
+	if got := pl.Devices[0].Stats().Submitted; got == 0 {
+		t.Error("home device saw no traffic")
+	}
+}
+
 // Scheduler comparison on the real SPR profile with one device per socket:
 // NUMA-local placement must deliver at least round-robin's throughput for
 // a socket-local workload (Fig 6a's remote-placement penalty).
