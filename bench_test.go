@@ -67,6 +67,8 @@ func BenchmarkFig21SPDK(b *testing.B)            { benchExperiment(b, "fig21", "
 func BenchmarkSchedComparison(b *testing.B)      { benchExperiment(b, "sched", "GBps_max") }
 func BenchmarkQoSInterference(b *testing.B)      { benchExperiment(b, "qos", "p99us_max") }
 func BenchmarkPlacementComparison(b *testing.B)  { benchExperiment(b, "placement", "GBps_max") }
+func BenchmarkSkewWindow(b *testing.B)           { benchExperiment(b, "skew", "GBps_max") }
+func BenchmarkCoalesceDelivery(b *testing.B)     { benchExperiment(b, "coalesce", "GBps_max") }
 
 // Device micro-benchmarks: virtual-time throughput of the model itself.
 // b.SetBytes reflects simulated payload per iteration, so MB/s measures

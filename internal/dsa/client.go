@@ -33,6 +33,14 @@ type Client struct {
 	WQ   *WQ
 	Core *cpu.Core // optional: phase costs also charge this core
 
+	// Coal, when non-nil, moderates this client's completion interrupts:
+	// every submitted completion is tracked, and Interrupt-mode waits pay
+	// one delivery + handler per coalescer window instead of one per
+	// descriptor (§4.4 made cheap for small operations). Poll and UMWAIT
+	// waits are unaffected. Several clients may share one Coalescer —
+	// their completions then coalesce across WQs and devices.
+	Coal *Coalescer
+
 	// Cumulative phase times.
 	AllocTime   sim.Time
 	PrepareTime sim.Time
@@ -120,6 +128,12 @@ func (c *Client) TrySubmit(p *sim.Proc, d Descriptor, maxRetries int) (*Completi
 		if err != nil {
 			return nil, err
 		}
+		if c.Coal != nil {
+			// Steer the interrupt through the moderation vector while the
+			// descriptor is still in flight (same event as the portal
+			// write, so the record cannot have been written yet).
+			c.Coal.Track(comp)
+		}
 		return comp, nil
 	}
 }
@@ -131,6 +145,29 @@ func (c *Client) Wait(p *sim.Proc, comp *Completion, mode WaitMode) sim.Time {
 	start := p.Now()
 	switch mode {
 	case Interrupt:
+		if k := c.Coal; k != nil && comp.coal == k {
+			// Coalesced delivery: block until the record is written, then
+			// until its (shared) interrupt fires. The first waiter of each
+			// interrupt pays the delivery latency and handler cost; every
+			// sibling record announced by the same interrupt was harvested
+			// in that handler pass and resolves for free.
+			comp.Wait(p)
+			d := k.waitDelivered(p, comp)
+			if !d.paid {
+				d.paid = true
+				p.SleepUntil(d.at + t.IntrDeliver)
+				p.Sleep(t.IntrHandler)
+				c.chargeBusy(t.IntrHandler)
+			} else {
+				// A sibling's record is harvested by the payer's handler
+				// pass: it cannot be observed before that pass completes,
+				// only read for free afterwards.
+				p.SleepUntil(d.at + t.IntrDeliver + t.IntrHandler)
+			}
+			waited := p.Now() - start
+			c.WaitTime += waited
+			return waited
+		}
 		comp.Wait(p)
 		p.Sleep(t.IntrDeliver + t.IntrHandler)
 		waited := p.Now() - start

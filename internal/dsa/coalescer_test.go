@@ -1,0 +1,204 @@
+package dsa
+
+import (
+	"testing"
+	"time"
+
+	"dsasim/internal/sim"
+)
+
+// coalRig builds a device plus a client whose interrupts are moderated by
+// a coalescer with the given count/window.
+func coalRig(t *testing.T, count int, window sim.Time) (*rig, *Client) {
+	t.Helper()
+	r := newRig(t)
+	cl := NewClient(r.dev.WQs()[0], nil)
+	cl.Coal = NewCoalescer(r.e, count, window, r.dev.Cfg.Timing.IntrCoalesceTick)
+	return r, cl
+}
+
+// submitCopies issues n size-byte copies back to back and returns their
+// completions (buffers rotate within one allocation).
+func submitCopies(t *testing.T, r *rig, cl *Client, p *sim.Proc, n int, size int64) []*Completion {
+	t.Helper()
+	src := r.alloc(size)
+	dst := r.alloc(size)
+	comps := make([]*Completion, 0, n)
+	for i := 0; i < n; i++ {
+		cl.Prepare(p)
+		comp, err := cl.Submit(p, Descriptor{
+			Op: OpMemmove, PASID: r.as.PASID, Src: src.Addr(0), Dst: dst.Addr(0), Size: size,
+		})
+		if err != nil {
+			t.Errorf("submit %d: %v", i, err)
+			return comps
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eight completions inside one window must cost a single interrupt: the
+// first waiter pays delivery + handler once, and the seven siblings drain
+// at the same virtual instant for free.
+func TestCoalescerCountTriggerSharesOneDelivery(t *testing.T) {
+	const n = 8
+	r, cl := coalRig(t, n, 100*time.Microsecond)
+	tm := r.dev.Cfg.Timing
+	r.e.Go("bulk", func(p *sim.Proc) {
+		comps := submitCopies(t, r, cl, p, n, 4<<10)
+		first := cl.Wait(p, comps[0], Interrupt)
+		if first < tm.IntrDeliver+tm.IntrHandler {
+			t.Errorf("first wait %v did not pay the delivery latency", first)
+		}
+		drainStart := p.Now()
+		for _, comp := range comps[1:] {
+			cl.Wait(p, comp, Interrupt)
+		}
+		if p.Now() != drainStart {
+			t.Errorf("sibling drains advanced time by %v, want 0 (records already harvested)", p.Now()-drainStart)
+		}
+	})
+	r.e.Run()
+	if got := cl.Coal.Deliveries(); got != 1 {
+		t.Errorf("Deliveries = %d, want 1", got)
+	}
+	if got := cl.Coal.CoalescedRecords(); got != n-1 {
+		t.Errorf("CoalescedRecords = %d, want %d", got, n-1)
+	}
+}
+
+// A tail of fewer-than-count records must be announced by the window
+// timer: the wait resolves at first-finish + window + delivery, never
+// hangs, and still costs one interrupt for the whole tail.
+func TestCoalescerWindowTriggerDeliversTail(t *testing.T) {
+	window := 20 * time.Microsecond
+	r, cl := coalRig(t, 64, window)
+	tm := r.dev.Cfg.Timing
+	r.e.Go("tail", func(p *sim.Proc) {
+		comps := submitCopies(t, r, cl, p, 3, 4<<10)
+		comps[2].Wait(p) // all records written, none announced
+		if cl.Coal.Pending() != 3 {
+			t.Errorf("Pending = %d before the window expired, want 3", cl.Coal.Pending())
+		}
+		firstFinish := comps[0].FinishTime
+		cl.Wait(p, comps[0], Interrupt)
+		want := firstFinish + cl.Coal.Window() + tm.IntrDeliver + tm.IntrHandler
+		if p.Now() != want {
+			t.Errorf("tail wait resolved at %v, want %v (first finish %v + window %v + delivery)",
+				p.Now(), want, firstFinish, cl.Coal.Window())
+		}
+	})
+	r.e.Run()
+	if got := cl.Coal.Deliveries(); got != 1 {
+		t.Errorf("Deliveries = %d, want 1", got)
+	}
+}
+
+// Poll and UMWAIT waits observe the completion record directly: interrupt
+// moderation must not delay them even when the client carries a coalescer.
+func TestCoalescerDoesNotDelayPollOrUMWait(t *testing.T) {
+	for _, mode := range []WaitMode{Poll, UMWait} {
+		r, cl := coalRig(t, 64, 500*time.Microsecond)
+		r.e.Go("poller", func(p *sim.Proc) {
+			comps := submitCopies(t, r, cl, p, 2, 4<<10)
+			cl.Wait(p, comps[0], mode)
+			cl.Wait(p, comps[1], mode)
+			// Both records read well before the 500µs window could expire.
+			if p.Now() >= 500*time.Microsecond {
+				t.Errorf("mode %v: wait stretched to %v — moderated like an interrupt", mode, p.Now())
+			}
+		})
+		r.e.Run()
+	}
+}
+
+// The moderation window rounds up to the device's timer granularity.
+func TestCoalescerWindowRoundsToTick(t *testing.T) {
+	e := sim.New()
+	k := NewCoalescer(e, 8, 1100*time.Nanosecond, 500*time.Nanosecond)
+	if got := k.Window(); got != 1500*time.Nanosecond {
+		t.Errorf("Window = %v, want 1.5µs (1.1µs rounded up to the 500ns tick)", got)
+	}
+	exact := NewCoalescer(e, 8, 1500*time.Nanosecond, 500*time.Nanosecond)
+	if got := exact.Window(); got != 1500*time.Nanosecond {
+		t.Errorf("aligned Window = %v, want unchanged 1.5µs", got)
+	}
+	free := NewCoalescer(e, 8, 1100*time.Nanosecond, 0)
+	if got := free.Window(); got != 1100*time.Nanosecond {
+		t.Errorf("tickless Window = %v, want exact 1.1µs", got)
+	}
+}
+
+// A count-only coalescer would strand a tail forever; the constructor
+// refuses it.
+func TestCoalescerRequiresWindowWithCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCoalescer(count>1, window=0) did not panic")
+		}
+	}()
+	NewCoalescer(sim.New(), 8, 0, 0)
+}
+
+// A waiter arriving long after its interrupt fired pays only the handler
+// residue, not a fresh delivery: the record was harvested when the
+// interrupt ran.
+func TestCoalescerLateWaiterPaysNoSecondDelivery(t *testing.T) {
+	r, cl := coalRig(t, 2, 50*time.Microsecond)
+	tm := r.dev.Cfg.Timing
+	r.e.Go("late", func(p *sim.Proc) {
+		comps := submitCopies(t, r, cl, p, 2, 4<<10)
+		comps[1].Wait(p)
+		p.Sleep(200 * time.Microsecond) // busy elsewhere while the interrupt fires
+		start := p.Now()
+		cl.Wait(p, comps[0], Interrupt)
+		// First wait of the epoch still charges the handler cost, but the
+		// delivery instant is long past: no 2µs delivery stall.
+		if got := p.Now() - start; got != tm.IntrHandler {
+			t.Errorf("late wait cost %v, want the %v handler charge only", got, tm.IntrHandler)
+		}
+		if got := cl.Wait(p, comps[1], Interrupt); got != 0 {
+			t.Errorf("second record cost %v, want 0", got)
+		}
+	})
+	r.e.Run()
+}
+
+// Two processes parked on completions of the same window both wake at the
+// interrupt: the payer charges delivery + handler, and the sibling — whose
+// record is harvested by that same handler pass — resolves no earlier than
+// the pass completes, not at the raise instant.
+func TestCoalescerParkedSiblingResolvesAfterHandlerPass(t *testing.T) {
+	r, cl := coalRig(t, 2, 50*time.Microsecond)
+	tm := r.dev.Cfg.Timing
+	var comps []*Completion
+	var payerAt, siblingAt sim.Time
+	r.e.Go("submit", func(p *sim.Proc) {
+		comps = submitCopies(t, r, cl, p, 2, 4<<10)
+	})
+	r.e.Go("payer", func(p *sim.Proc) {
+		for comps == nil {
+			p.Sleep(100 * time.Nanosecond)
+		}
+		cl.Wait(p, comps[0], Interrupt)
+		payerAt = p.Now()
+	})
+	r.e.Go("sibling", func(p *sim.Proc) {
+		for comps == nil {
+			p.Sleep(100 * time.Nanosecond)
+		}
+		cl.Wait(p, comps[1], Interrupt)
+		siblingAt = p.Now()
+	})
+	r.e.Run()
+	if cl.Coal.Deliveries() != 1 {
+		t.Fatalf("Deliveries = %d, want 1", cl.Coal.Deliveries())
+	}
+	if siblingAt != payerAt {
+		t.Errorf("sibling resolved at %v, payer at %v — both must resolve when the handler pass completes", siblingAt, payerAt)
+	}
+	if wantMin := comps[1].FinishTime + tm.IntrDeliver + tm.IntrHandler; siblingAt < wantMin {
+		t.Errorf("sibling resolved at %v, before the delivery+handler pass could finish (%v)", siblingAt, wantMin)
+	}
+}

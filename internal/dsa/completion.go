@@ -14,6 +14,13 @@ type Completion struct {
 	done bool
 	sig  sim.Signal
 
+	// coal, when non-nil, moderates this completion's interrupt: the
+	// record joins the coalescer's window when written, and intr is set
+	// when the (possibly shared) interrupt fires. Poll and UMWAIT waits
+	// ignore both — they observe the record directly.
+	coal *Coalescer
+	intr *intrDelivery
+
 	// Timeline instants (virtual time).
 	SubmitTime   sim.Time
 	DispatchTime sim.Time
@@ -30,6 +37,9 @@ func (c *Completion) complete(rec CompletionRecord) {
 	c.done = true
 	c.FinishTime = c.e.Now()
 	c.sig.Broadcast(c.e)
+	if c.coal != nil {
+		c.coal.observe(c)
+	}
 }
 
 // Done reports whether the completion record has been written.

@@ -65,26 +65,33 @@ type Timing struct {
 	// latency but zero polling burn.
 	IntrDeliver time.Duration
 	IntrHandler time.Duration
+	// IntrCoalesceTick is the granularity of the device's interrupt-
+	// moderation timer — the hold-off counter production drivers program
+	// per queue/vector. A Coalescer's time window rounds up to a whole
+	// number of ticks, so software cannot request a tighter bound than
+	// the moderation hardware resolves.
+	IntrCoalesceTick time.Duration
 }
 
 // DefaultTiming returns the Sapphire Rapids DSA calibration.
 func DefaultTiming() Timing {
 	return Timing{
-		SubmitMOVDIR64B: 25 * time.Nanosecond,
-		SubmitENQCMD:    400 * time.Nanosecond,
-		PortalHop:       500 * time.Nanosecond,
-		EngineSetup:     150 * time.Nanosecond,
-		BatchSubDesc:    40 * time.Nanosecond,
-		ATCHit:          5 * time.Nanosecond,
-		CRWrite:         100 * time.Nanosecond,
-		PollGap:         200 * time.Nanosecond,
-		FabricGBps:      30,
-		ReadBufLine:     64,
-		DescAlloc:       12 * time.Microsecond,
-		DescAllocPer:    200 * time.Nanosecond,
-		DescPrepare:     60 * time.Nanosecond,
-		IntrDeliver:     2 * time.Microsecond,
-		IntrHandler:     600 * time.Nanosecond,
+		SubmitMOVDIR64B:  25 * time.Nanosecond,
+		SubmitENQCMD:     400 * time.Nanosecond,
+		PortalHop:        500 * time.Nanosecond,
+		EngineSetup:      150 * time.Nanosecond,
+		BatchSubDesc:     40 * time.Nanosecond,
+		ATCHit:           5 * time.Nanosecond,
+		CRWrite:          100 * time.Nanosecond,
+		PollGap:          200 * time.Nanosecond,
+		FabricGBps:       30,
+		ReadBufLine:      64,
+		DescAlloc:        12 * time.Microsecond,
+		DescAllocPer:     200 * time.Nanosecond,
+		DescPrepare:      60 * time.Nanosecond,
+		IntrDeliver:      2 * time.Microsecond,
+		IntrHandler:      600 * time.Nanosecond,
+		IntrCoalesceTick: 500 * time.Nanosecond,
 	}
 }
 

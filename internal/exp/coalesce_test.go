@@ -1,0 +1,41 @@
+package exp
+
+import "testing"
+
+// The PR's acceptance experiment: coalescing Interrupt-mode deliveries
+// must buy small-op bulk tenants a material throughput win at a deep
+// window, leave large transfers essentially untouched, and — because the
+// QoS resolution exempts latency-sensitive tenants — must not move the
+// foreground p99 at all.
+func TestCoalescingSpeedsBulkWithoutHurtingForegroundTail(t *testing.T) {
+	// Small ops at a deep window: one delivery per 16 completions instead
+	// of one each must be worth well over the asserted 1.5x.
+	perDesc := coalesceThroughput(4<<10, 1)
+	deep := coalesceThroughput(4<<10, 16)
+	if deep < 1.5*perDesc {
+		t.Errorf("4KB: window-16 %.2f GB/s not ≥1.5x per-descriptor %.2f GB/s", deep, perDesc)
+	}
+
+	// Large transfers already amortize the delivery latency; coalescing
+	// must not cost them anything.
+	bigBase := coalesceThroughput(256<<10, 1)
+	bigDeep := coalesceThroughput(256<<10, 16)
+	if bigDeep < 0.95*bigBase {
+		t.Errorf("256KB: window-16 %.2f GB/s regressed vs per-descriptor %.2f GB/s", bigDeep, bigBase)
+	}
+
+	// The latency-sensitive tenant bypasses moderation, so its p99 under
+	// a deeply coalescing bulk neighbor stays within 5% of the
+	// uncoalesced baseline.
+	base := coalesceMixP99(1, false)
+	deepMix := coalesceMixP99(64, false)
+	if float64(deepMix) > 1.05*float64(base) {
+		t.Errorf("foreground p99 %v under bulk window-64 not within 5%% of uncoalesced %v", deepMix, base)
+	}
+	// ...and the bypass is load-bearing: opting the foreground into the
+	// window (Policy.CoalesceAll) visibly costs its tail.
+	coalesced := coalesceMixP99(64, true)
+	if float64(coalesced) < 1.2*float64(deepMix) {
+		t.Errorf("ls-coalesced p99 %v not ≥1.2x the bypass p99 %v — the ablation should show the bypass matters", coalesced, deepMix)
+	}
+}

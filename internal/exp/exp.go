@@ -55,6 +55,7 @@ func All() []Experiment {
 		{"qos", "QoS scheduling: latency-sensitive p99 under bulk interference (§3.4 F3)", QoS},
 		{"placement", "Data-home placement: CXL/NUMA-aware routing and batch splitting (G4)", Placement},
 		{"skew", "Skewed load: data-only vs load-aware placement vs in-flight window", Skew},
+		{"coalesce", "Completion path: QoS-aware interrupt coalescing (§4.4)", Coalesce},
 	}
 }
 

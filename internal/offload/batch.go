@@ -150,24 +150,49 @@ func (t *Tenant) submitSlice(p *sim.Proc, descs []dsa.Descriptor, flags dsa.Flag
 
 // splitByHome groups descriptors into per-socket sub-batches by data home
 // (Tenant.dataHome), returning index groups in first-seen order, with
-// submission order preserved inside each group. It returns nil — submit as
+// submission order preserved inside each group. Under Policy.LoadAware the
+// grouping key is not the raw home but where the scheduler's cost model
+// says the descriptor will actually run (loadRouter): a slice homed on a
+// saturated socket detours with the rest of the traffic instead of being
+// dutifully split out and submitted into the backlog, and slices whose
+// routes coincide merge into one sub-batch. It returns nil — submit as
 // one batch — when splitting is disabled (Policy.SplitBatches), the active
 // scheduler is not data-aware (a blind policy would route every sub-batch
 // to the same device, making the split pure parent overhead), the batch
 // carries a Fence (fences order descriptors across the whole batch, which
-// independent devices cannot honor), or every descriptor shares a home.
+// independent devices cannot honor), or every descriptor shares a target.
 func (t *Tenant) splitByHome(descs []dsa.Descriptor) [][]int {
 	if !t.policy.SplitBatches || !t.S.dataAware {
 		return nil
 	}
+	var lr loadRouter
+	if t.policy.LoadAware {
+		lr, _ = t.S.sched.(loadRouter)
+	}
 	var groups [][]int
 	bySocket := make(map[int]int, 2)
+	// One logical flush is one routing decision per distinct home: the
+	// cost model's EWMA folds one sample per route lookup, so pricing
+	// every descriptor individually would compound the smoothing away
+	// with flush width (and let the estimate drift mid-scan).
+	var routed map[int]int
 	for i := range descs {
 		d := &descs[i]
 		if d.Flags&dsa.FlagFence != 0 || d.Op == dsa.OpNop {
 			return nil
 		}
 		home := t.dataHome(d)
+		if lr != nil {
+			if routed == nil {
+				routed = make(map[int]int, 2)
+			}
+			r, ok := routed[home]
+			if !ok {
+				r = lr.routeSocket(t.request(d), home)
+				routed[home] = r
+			}
+			home = r
+		}
 		g, ok := bySocket[home]
 		if !ok {
 			g = len(groups)

@@ -1,0 +1,222 @@
+package offload_test
+
+import (
+	"testing"
+	"time"
+
+	"dsasim/internal/offload"
+	"dsasim/internal/sim"
+)
+
+// coalescePolicy returns a policy with interrupt moderation at the given
+// count and a window wide enough that count is the effective trigger.
+func coalescePolicy(count int) offload.Policy {
+	pol := offload.DefaultPolicy()
+	pol.CoalesceCount = count
+	pol.CoalesceWindow = 50 * time.Microsecond
+	return pol
+}
+
+// A bulk tenant's window of completions must cost one interrupt delivery,
+// and the whole drain must be cheaper than per-descriptor delivery.
+func TestCoalescedWaitsPayOneDeliveryPerWindow(t *testing.T) {
+	const ops = 8
+	elapsed := func(count int) sim.Time {
+		r := newRig(t, 1)
+		svc := r.service(t, offload.WithPolicy(coalescePolicy(count)))
+		tn, err := svc.NewTenant()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(16 << 10)
+		src, dst := tn.Alloc(n), tn.Alloc(n)
+		var total sim.Time
+		r.run(func(p *sim.Proc) {
+			start := p.Now()
+			futs := make([]*offload.Future, 0, ops)
+			for i := 0; i < ops; i++ {
+				f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				futs = append(futs, f)
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(p, offload.Interrupt); err != nil {
+					t.Error(err)
+				}
+			}
+			total = p.Now() - start
+		})
+		if count > 1 {
+			k := tn.Coalescer()
+			if k == nil {
+				t.Fatal("bulk tenant with CoalesceCount > 1 has no coalescer")
+			}
+			if k.Deliveries() != 1 {
+				t.Errorf("count %d: Deliveries = %d, want 1", count, k.Deliveries())
+			}
+			if k.CoalescedRecords() != ops-1 {
+				t.Errorf("count %d: CoalescedRecords = %d, want %d", count, k.CoalescedRecords(), ops-1)
+			}
+		} else if tn.Coalescer() != nil {
+			t.Error("CoalesceCount ≤ 1 still built a coalescer")
+		}
+		return total
+	}
+	perDesc := elapsed(1)
+	coalesced := elapsed(ops)
+	if coalesced >= perDesc {
+		t.Errorf("coalesced drain (%v) not cheaper than per-descriptor delivery (%v)", coalesced, perDesc)
+	}
+}
+
+// Latency-sensitive tenants bypass moderation: no coalescer, per-descriptor
+// delivery — unless the policy opts every class in.
+func TestLatencySensitiveBypassesCoalescing(t *testing.T) {
+	r := newRig(t, 1)
+	svc := r.service(t, offload.WithPolicy(coalescePolicy(16)))
+	ls, err := svc.NewTenant(offload.WithClass(offload.LatencySensitive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Coalescer() != nil {
+		t.Error("latency-sensitive tenant got a coalescer by default")
+	}
+	pol := coalescePolicy(16)
+	pol.CoalesceAll = true
+	ls.SetPolicy(pol)
+	if ls.Coalescer() == nil {
+		t.Error("CoalesceAll did not opt the latency-sensitive tenant in")
+	}
+	bulk, err := svc.NewTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Coalescer() == nil {
+		t.Error("bulk tenant with CoalesceCount 16 has no coalescer")
+	}
+}
+
+// SetPolicy must take effect on the next operation: disabling coalescing
+// drops the coalescer, changing the knobs rebuilds it.
+func TestSetPolicyRetunesCoalescer(t *testing.T) {
+	r := newRig(t, 1)
+	svc := r.service(t, offload.WithPolicy(coalescePolicy(8)))
+	tn, err := svc.NewTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tn.Coalescer()
+	if first == nil || first.Count() != 8 {
+		t.Fatalf("initial coalescer = %+v, want count 8", first)
+	}
+	if again := tn.Coalescer(); again != first {
+		t.Error("unchanged policy rebuilt the coalescer")
+	}
+	tn.SetPolicy(coalescePolicy(32))
+	second := tn.Coalescer()
+	if second == first || second == nil || second.Count() != 32 {
+		t.Error("count change did not rebuild the coalescer")
+	}
+	pol := offload.DefaultPolicy()
+	tn.SetPolicy(pol)
+	if tn.Coalescer() != nil {
+		t.Error("disabling coalescing left a coalescer attached")
+	}
+}
+
+// A window left unset falls back to DefaultCoalesceWindow (tick-rounded),
+// so a count-triggered policy can never strand a tail.
+func TestCoalesceWindowDefaults(t *testing.T) {
+	r := newRig(t, 1)
+	pol := offload.DefaultPolicy()
+	pol.CoalesceCount = 16 // no window
+	svc := r.service(t, offload.WithPolicy(pol))
+	tn, err := svc.NewTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := tn.Coalescer()
+	if k == nil {
+		t.Fatal("no coalescer")
+	}
+	if k.Window() < offload.DefaultCoalesceWindow {
+		t.Errorf("Window = %v, want at least the %v default", k.Window(), offload.DefaultCoalesceWindow)
+	}
+	// A short tail (fewer than count) must still complete via the timer.
+	n := int64(16 << 10)
+	src, dst := tn.Alloc(n), tn.Alloc(n)
+	r.run(func(p *sim.Proc) {
+		f1, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f2, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f1.Wait(p, offload.Interrupt); err != nil {
+			t.Error(err)
+		}
+		if _, err := f2.Wait(p, offload.Interrupt); err != nil {
+			t.Error(err)
+		}
+	})
+	if k.Deliveries() != 1 {
+		t.Errorf("Deliveries = %d, want 1 timer-fired delivery for the tail", k.Deliveries())
+	}
+}
+
+// A split batch's sub-batch completions share the tenant's moderation
+// vector: both sub-batches finishing within one window cost one delivery,
+// so the multi-part Wait pays per window, not per sub-batch.
+func TestSplitBatchSubBatchesShareOneDelivery(t *testing.T) {
+	r := newRig(t, 2)
+	pol := coalescePolicy(2)
+	pol.CoalesceWindow = 200 * time.Microsecond
+	svc := r.service(t, offload.WithScheduler(offload.NewPlacement()), offload.WithPolicy(pol))
+	tn, err := svc.NewTenant(offload.OnSocket(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(64 << 10)
+	s0src, s0dst := tn.AllocOn(0, 2*n), tn.AllocOn(0, 2*n)
+	s1src, s1dst := tn.AllocOn(1, 2*n), tn.AllocOn(1, 2*n)
+	r.run(func(p *sim.Proc) {
+		f, err := tn.NewBatch().
+			Copy(s0dst.Addr(0), s0src.Addr(0), n).
+			Copy(s0dst.Addr(n), s0src.Addr(n), n).
+			Copy(s1dst.Addr(0), s1src.Addr(0), n).
+			Copy(s1dst.Addr(n), s1src.Addr(n), n).
+			Submit(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := f.Wait(p, offload.Interrupt)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Record.Result != 4 {
+			t.Errorf("joined Record.Result = %d, want 4", res.Record.Result)
+		}
+	})
+	if st := tn.Stats(); st.Splits != 2 {
+		t.Fatalf("Splits = %d, want 2", st.Splits)
+	}
+	k := tn.Coalescer()
+	if k == nil {
+		t.Fatal("no coalescer")
+	}
+	if k.Deliveries() != 1 {
+		t.Errorf("Deliveries = %d, want 1 for both sub-batch records", k.Deliveries())
+	}
+	if k.CoalescedRecords() != 1 {
+		t.Errorf("CoalescedRecords = %d, want 1 (second sub-batch rode the first's interrupt)", k.CoalescedRecords())
+	}
+}

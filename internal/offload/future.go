@@ -46,13 +46,20 @@ type Future struct {
 	// sharedWait links futures that resolve from one completion record
 	// (coalesced batch siblings): the completion is physically observed —
 	// and its wait cost paid — once, by the first waiter, and a batch
-	// failure counts once toward Stats.Failures.
+	// failure counts once toward Stats.Failures. Interrupt coalescing
+	// (Policy.CoalesceCount) extends the same idea across *distinct*
+	// completion records: every record announced by one moderated
+	// interrupt is harvested by the first waiter's delivery, so sibling
+	// futures in the same coalescing window drain for free whichever
+	// record each one resolves from.
 	sharedWait *batchWait
 
 	// parts joins the per-socket sub-batches of one split batch
 	// submission (batch.go): the Future is done when every part is, and
 	// Wait drains the parts in turn, paying the wait cost once per
-	// sub-batch.
+	// sub-batch — or, under interrupt coalescing, once per moderation
+	// window: the tenant's coalescer spans its per-WQ clients, so
+	// sub-batch records finishing within one window share one delivery.
 	parts []*Future
 
 	done bool

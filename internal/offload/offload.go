@@ -15,6 +15,21 @@
 // operation returns a *Future whose Wait(p, mode) unifies the sync, async,
 // poll, UMWAIT, and interrupt completion paths.
 //
+// # Completion path (§4.4)
+//
+// Interrupt-mode completions are moderated per tenant and QoS class
+// (Policy.CoalesceCount / CoalesceWindow): each tenant owns one
+// dsa.Coalescer shared by its per-WQ clients, so up to CoalesceCount
+// finished records — across WQs, devices, and split-batch sub-batches —
+// are announced by one interrupt, and the first waiter's single delivery
+// harvests every record in the window. Bulk tenants coalesce with the
+// full window; latency-sensitive tenants bypass moderation (their
+// interrupts fire per descriptor, composing with the express-lane
+// reservation so the foreground pays neither queueing nor moderation
+// delay). The resolved Future.Wait fast path and the poll wait loop are
+// allocation-free (see TestResolvedWaitZeroAllocs and the sim package's
+// event-path alloc assertions).
+//
 // # Placement (G4)
 //
 // Guideline G4 — put the device next to the data, not the submitter —
@@ -165,6 +180,16 @@ func (sv *Service) AddWQs(wqs ...*dsa.WQ) {
 
 // WQs returns the service's submission targets.
 func (sv *Service) WQs() []*dsa.WQ { return sv.wqs }
+
+// coalesceTick returns the interrupt-moderation timer granularity tenant
+// coalescers round their windows to — the first device's, since the
+// service's devices share a timing calibration in every supported profile.
+func (sv *Service) coalesceTick() sim.Time {
+	if len(sv.wqs) == 0 {
+		return 0
+	}
+	return sv.wqs[0].Dev.Cfg.Timing.IntrCoalesceTick
+}
 
 // Topology returns the service's per-socket WQ placement index.
 func (sv *Service) Topology() *Topology { return sv.topo }

@@ -38,7 +38,49 @@ type Placement struct {
 	next int
 	// qos composes the express/rest partition on top of the socket choice.
 	qos bool
+
+	// Detour hysteresis state for the load-aware path. The raw queueing-
+	// delay signal (latency EWMA × occupancy) jumps a full completion
+	// latency per queued descriptor, so pricing every submission against
+	// the instantaneous value lets a workload hovering at the detour
+	// threshold ping-pong between sockets, paying the UPI crossing on
+	// alternate picks. Two mechanisms make routing flip only on a
+	// sustained gap: smoothed holds a per-(socket, pool) EWMA of the
+	// queueing delay (costEWMAAlpha), and lastRoute remembers the route
+	// last chosen per (home socket, pool kind) — a challenger must
+	// undercut the incumbent's smoothed cost by switchMargin before the
+	// route moves. The pool-kind key keeps QoS classes from fighting:
+	// under express/rest composition an LS and a Bulk request are costed
+	// against different pools, so each class holds its own incumbent.
+	// Both tables are sized on first load-aware pick and reused, keeping
+	// Pick allocation-free.
+	smoothed  []float64
+	lastRoute []int
 }
+
+// Pool-kind indices into the smoothed cost table: each socket tracks the
+// whole-socket pool and, under QoS composition, the express and rest
+// partitions separately (their backlogs diverge by construction).
+const (
+	poolLocal = iota
+	poolExpress
+	poolRest
+	poolKinds
+)
+
+const (
+	// costEWMAAlpha smooths the queueing-delay samples feeding the detour
+	// decision: 1/4 per sample reacts within a handful of submissions —
+	// fast enough that a genuine backlog still detours inside a burst —
+	// while a single spiky sample moves the estimate only a quarter of
+	// the way.
+	costEWMAAlpha = 0.25
+	// switchMargin is the sustained advantage a challenger socket must
+	// show before routing flips: its smoothed cost must undercut the
+	// incumbent's by 25%. The data home keeps winning ties, and an idle
+	// incumbent (cost zero) is never left.
+	switchMargin = 0.75
+)
 
 // NewPlacement returns the data-home-aware scheduler.
 func NewPlacement() *Placement { return &Placement{} }
@@ -78,47 +120,133 @@ func (s *Placement) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
 	return leastLoadedOf(req.localPool(socket, wqs), s.next)
 }
 
+// loadRouter is implemented by data-aware schedulers whose load-aware cost
+// model can re-price a target socket (Placement). The batch paths consult
+// it through splitByHome so a split flush groups its descriptors by where
+// they will actually run — detouring a saturated socket's slice instead of
+// dutifully submitting it into the backlog.
+type loadRouter interface {
+	// routeSocket resolves the socket a request homed on home would be
+	// served from once load is priced in; it returns home unchanged when
+	// the request is not load-aware.
+	routeSocket(req Request, home int) int
+}
+
+// routeSocket implements loadRouter.
+func (s *Placement) routeSocket(req Request, home int) int {
+	if !req.LoadAware || req.Topo == nil {
+		return home
+	}
+	return s.loadAwareSocket(req, home)
+}
+
 // loadAwareSocket blends the data-home socket's backlog against remote
 // candidates (the paper's §3.3/§5 point that queueing delay on a
 // saturated WQ quickly dwarfs the UPI penalty): serving the request from
-// candidate socket c costs the estimated queueing delay of c's pool
-// (latency EWMA × occupancy, Topology.QueueDelay) plus the UPI transfer
-// penalty for every data leg homed off c. The data's home wins ties, so
-// an unloaded system routes exactly like data-only placement; a deeply
-// backlogged local device loses to an idle remote one exactly when the
-// model says the detour is cheaper. Requests without placement
+// candidate socket c costs the smoothed queueing delay of c's pool
+// (latency EWMA × occupancy, Topology.QueueDelay, folded through
+// costEWMAAlpha) plus the UPI transfer penalty for every data leg homed
+// off c. The data's home wins ties, so an unloaded system routes exactly
+// like data-only placement; a deeply backlogged local device loses to an
+// idle remote one exactly when the model says the detour is cheaper — and
+// hysteresis (lastRoute + switchMargin) keeps a workload hovering at that
+// threshold from ping-ponging between sockets. Requests without placement
 // information never take this path — their detour cannot be priced.
 func (s *Placement) loadAwareSocket(req Request, home int) int {
 	topo := req.Topo
-	best, bestCost := home, s.socketCost(req, home)
+	s.ensure(topo.Sockets())
+	if home < 0 || home >= topo.Sockets() {
+		return home
+	}
+	route := home*poolKinds + s.reqKind(req)
+	incumbent := s.lastRoute[route]
+	if incumbent < 0 || incumbent >= topo.Sockets() || (incumbent != home && !topo.HasLocal(incumbent)) {
+		incumbent = home
+	}
+	incCost := s.socketCost(req, incumbent)
+	best, bestCost := incumbent, incCost
 	for c := 0; c < topo.Sockets(); c++ {
-		if c == home || !topo.HasLocal(c) {
+		if c == incumbent || (c != home && !topo.HasLocal(c)) {
 			continue
 		}
-		if cost := s.socketCost(req, c); cost < bestCost {
+		cost := s.socketCost(req, c)
+		if cost < bestCost || (cost == bestCost && c == home && best != home) {
 			best, bestCost = c, cost
 		}
 	}
-	return best
+	if best != incumbent && float64(bestCost) < switchMargin*float64(incCost) {
+		incumbent = best
+	}
+	s.lastRoute[route] = incumbent
+	return incumbent
+}
+
+// reqKind resolves the pool kind a request's cost (and its hysteresis
+// incumbent) is tracked under: the class partition under QoS composition,
+// the whole-socket pool otherwise.
+func (s *Placement) reqKind(req Request) int {
+	if !s.qos {
+		return poolLocal
+	}
+	if req.Class == LatencySensitive {
+		return poolExpress
+	}
+	return poolRest
+}
+
+// ensure sizes the hysteresis state for n sockets (allocating only when
+// the topology grows; steady-state picks just index it).
+func (s *Placement) ensure(n int) {
+	if len(s.lastRoute) >= n*poolKinds {
+		return
+	}
+	lastRoute := make([]int, n*poolKinds)
+	copy(lastRoute, s.lastRoute)
+	for i := len(s.lastRoute); i < len(lastRoute); i++ {
+		lastRoute[i] = -1
+	}
+	smoothed := make([]float64, n*poolKinds)
+	copy(smoothed, s.smoothed)
+	s.lastRoute, s.smoothed = lastRoute, smoothed
 }
 
 // socketCost prices serving req from a device on the given socket: the
-// queueing delay of the pool the pick would actually use (the express or
-// bulk partition under QoS composition) plus the cross-socket transfer
-// penalty of each remote data leg.
+// smoothed queueing delay of the pool the pick would actually use (the
+// express or bulk partition under QoS composition) plus the cross-socket
+// transfer penalty of each remote data leg. Each call folds the pool's
+// instantaneous queueing delay into its EWMA — the signal is event-
+// sampled on load-aware picks, like the WQ histories feeding it.
 func (s *Placement) socketCost(req Request, socket int) sim.Time {
 	topo := req.Topo
 	pool := topo.Local(socket)
+	kind := poolLocal
 	if s.qos {
 		if express, rest := topo.Split(socket); len(rest) > 0 {
 			if req.Class == LatencySensitive {
-				pool = express
+				pool, kind = express, poolExpress
 			} else {
-				pool = rest
+				pool, kind = rest, poolRest
 			}
 		}
 	}
-	return queueDelayOf(pool) + upiPenalty(req, socket, topo)
+	return s.smooth(socket, kind, queueDelayOf(pool)) + upiPenalty(req, socket, topo)
+}
+
+// smooth folds one raw queueing-delay sample into the (socket, pool) EWMA
+// and returns the updated estimate. A zero sample snaps the estimate to
+// zero instead of decaying toward it: an empty pool's queueing delay is
+// known exactly, not estimated — smoothing exists to filter the noisy
+// occupancy spikes a transient burst produces, and letting a stale spike
+// linger over an idle pool would detour traffic away from a device with
+// nothing queued (exactly the misroute the cost model exists to avoid).
+func (s *Placement) smooth(socket, kind int, raw sim.Time) sim.Time {
+	i := socket*poolKinds + kind
+	if raw == 0 {
+		s.smoothed[i] = 0
+		return 0
+	}
+	s.smoothed[i] += costEWMAAlpha * (float64(raw) - s.smoothed[i])
+	return sim.Time(s.smoothed[i])
 }
 
 // upiPenalty estimates the extra virtual time a device on devSocket pays

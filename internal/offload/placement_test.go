@@ -642,3 +642,218 @@ func TestSplitFlushChargesAdmissionOnce(t *testing.T) {
 		t.Errorf("Shed = %d, want 1 (shed per logical flush, not per sub-batch)", st.Shed)
 	}
 }
+
+// Detour hysteresis: the raw cost model re-prices every submission, so a
+// workload hovering at the detour threshold would ping-pong between
+// sockets. With the smoothed cost and switch margin, a transient
+// one-descriptor spike never flips routing, a sustained backlog flips it
+// exactly once, and a drained queue brings it home exactly once.
+func TestDetourHysteresisResistsFlapping(t *testing.T) {
+	pol := offload.DefaultPolicy()
+	pol.LoadAware = true
+	r := newRig(t, 2)
+	sched := offload.NewPlacement()
+	svc := r.service(t, offload.WithScheduler(sched), offload.WithPolicy(pol))
+	tn, err := svc.NewTenant(offload.OnSocket(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(256 << 10)
+	src := tn.AllocOn(0, n)
+	dst := tn.AllocOn(0, n)
+	// Warmup: a completed copy seeds the home WQ's latency EWMA — without
+	// it the backlog below would price at zero.
+	r.run(func(p *sim.Proc) {
+		f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Wait(p, offload.Poll); err != nil {
+			t.Error(err)
+		}
+	})
+
+	// Drive Pick directly against controlled WQ state: hogSubmit raises
+	// the home WQ's occupancy without running the engine; r.e.Run drains.
+	homeWQ := r.devs[0].WQs()[0]
+	hsrc, hdst := tn.AllocOn(0, n), tn.AllocOn(0, n)
+	hogSubmit := func(count int) {
+		t.Helper()
+		for i := 0; i < count; i++ {
+			if _, err := homeWQ.Submit(dsa.Descriptor{
+				Op: dsa.OpMemmove, PASID: tn.AS.PASID,
+				Src: hsrc.Addr(0), Dst: hdst.Addr(0), Size: n,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	req := offload.Request{
+		Socket: 0, Topo: svc.Topology(),
+		SrcNode: r.sys.Node(0), DstNode: r.sys.Node(0),
+		Size: n, LoadAware: true,
+	}
+	var picks []int
+	pick := func() {
+		t.Helper()
+		wq := sched.Pick(req, svc.WQs())
+		if wq == nil {
+			t.Fatal("nil pick")
+		}
+		picks = append(picks, wq.Dev.Cfg.Socket)
+	}
+	transitions := func(from int) int {
+		t.Helper()
+		n := 0
+		for i := from + 1; i < len(picks); i++ {
+			if picks[i] != picks[i-1] {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Phase 1 — transient spikes: one queued descriptor per pick, drained
+	// between picks. The raw model detours on every busy sample (one
+	// same-size descriptor's ~10µs queueing delay beats the ~3µs UPI
+	// penalty outright); the smoothed cost damps the single sample below
+	// the switch margin, so every pick stays on the data's home.
+	for i := 0; i < 8; i++ {
+		hogSubmit(1)
+		pick()
+		r.e.Run()
+		pick()
+	}
+	for i, s := range picks {
+		if s != 0 {
+			t.Fatalf("phase 1 pick %d detoured to socket %d on a transient spike", i, s)
+		}
+	}
+
+	// Phase 2 — sustained backlog: a deep queue that never drains must
+	// flip routing to the idle socket exactly once, then hold it there.
+	p2 := len(picks)
+	hogSubmit(24)
+	for i := 0; i < 10; i++ {
+		pick()
+	}
+	if got := transitions(p2 - 1); got != 1 {
+		t.Errorf("phase 2: %d route transitions under sustained backlog, want exactly 1 (picks %v)", got, picks[p2:])
+	}
+	if last := picks[len(picks)-1]; last != 1 {
+		t.Errorf("phase 2 settled on socket %d, want the idle socket 1", last)
+	}
+
+	// Phase 3 — drained: with the home queue empty again, routing returns
+	// home exactly once and stays.
+	p3 := len(picks)
+	r.e.Run()
+	for i := 0; i < 10; i++ {
+		pick()
+	}
+	if got := transitions(p3 - 1); got != 1 {
+		t.Errorf("phase 3: %d route transitions after the drain, want exactly 1 (picks %v)", got, picks[p3:])
+	}
+	if last := picks[len(picks)-1]; last != 0 {
+		t.Errorf("phase 3 settled on socket %d, want the data's home 0", last)
+	}
+}
+
+// Load-aware batch splitting: a mixed-home flush must group by where its
+// slices will actually run. With the home socket saturated, the cost model
+// detours the home slice to the idle socket, the groups coincide, and the
+// flush goes out as one batch on the idle device — no sub-batch is
+// dutifully submitted into the backlog. Without LoadAware the same flush
+// splits by raw data home and feeds the saturated device.
+func TestLoadAwareSplitDetoursAwayFromSaturatedSocket(t *testing.T) {
+	for _, loadAware := range []bool{false, true} {
+		pol := offload.DefaultPolicy()
+		pol.LoadAware = loadAware
+		r := newRig(t, 2)
+		svc := r.service(t, offload.WithScheduler(offload.NewPlacement()), offload.WithPolicy(pol))
+		tn, err := svc.NewTenant(offload.OnSocket(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(256 << 10)
+		s0src, s0dst := tn.AllocOn(0, 2*n), tn.AllocOn(0, 2*n)
+		s1src, s1dst := tn.AllocOn(1, 2*n), tn.AllocOn(1, 2*n)
+		hsrc, hdst := tn.AllocOn(0, 1<<20), tn.AllocOn(0, 1<<20)
+		r.run(func(p *sim.Proc) {
+			// Warm both WQs' latency EWMAs with one completed copy each.
+			for _, pair := range []struct{ dst, src mem.Addr }{
+				{s0dst.Addr(0), s0src.Addr(0)}, {s1dst.Addr(0), s1src.Addr(0)},
+			} {
+				f, err := tn.Copy(p, pair.dst, pair.src, n, offload.On(offload.Hardware))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := f.Wait(p, offload.Poll); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			// Saturate the home device outside the service, then give the
+			// cost model a few samples so the smoothed home cost reflects
+			// the backlog (the burst's own picks detour once it does).
+			hogCl := dsa.NewClient(r.devs[0].WQs()[0], nil)
+			for i := 0; i < 24; i++ {
+				if _, err := hogCl.Submit(p, dsa.Descriptor{
+					Op: dsa.OpMemmove, PASID: tn.AS.PASID,
+					Src: hsrc.Addr(0), Dst: hdst.Addr(0), Size: 1 << 20,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			var prime []*offload.Future
+			for i := 0; i < 4; i++ {
+				f, err := tn.Copy(p, s0dst.Addr(0), s0src.Addr(0), n, offload.On(offload.Hardware))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				prime = append(prime, f)
+			}
+			before := tn.Stats().Splits
+			f, err := tn.NewBatch().
+				Copy(s0dst.Addr(0), s0src.Addr(0), n).
+				Copy(s0dst.Addr(n), s0src.Addr(n), n).
+				Copy(s1dst.Addr(0), s1src.Addr(0), n).
+				Copy(s1dst.Addr(n), s1src.Addr(n), n).
+				Submit(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			splits := tn.Stats().Splits - before
+			if loadAware && splits != 0 {
+				t.Errorf("load-aware: mixed flush split into %d sub-batches, want 0 (routes coincide on the idle socket)", splits)
+			}
+			if !loadAware && splits != 2 {
+				t.Errorf("data-only: mixed flush split into %d sub-batches, want 2", splits)
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				t.Error(err)
+			}
+			for _, pf := range prime {
+				if _, err := pf.Wait(p, offload.Poll); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		batchesOn := func(dev int) int64 { return r.devs[dev].Stats().BatchesFetched }
+		if loadAware {
+			if got := batchesOn(1); got != 1 {
+				t.Errorf("load-aware: idle socket-1 device fetched %d batches, want the whole flush (1)", got)
+			}
+			if got := batchesOn(0); got != 0 {
+				t.Errorf("load-aware: saturated socket-0 device fetched %d batches, want 0", got)
+			}
+		} else if got := batchesOn(0); got != 1 {
+			t.Errorf("data-only: socket-0 device fetched %d batches, want its sub-batch (1)", got)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package offload
 
 import (
+	"time"
+
 	"dsasim/internal/dsa"
 )
 
@@ -77,6 +79,32 @@ type Policy struct {
 	// force every batch onto a single WQ regardless of data placement.
 	SplitBatches bool
 
+	// CoalesceCount enables completion-interrupt coalescing for Interrupt-
+	// mode waits: up to CoalesceCount finished completion records are
+	// announced by one interrupt, so a window of N completions costs one
+	// delivery latency + handler instead of N (§4.4's per-descriptor
+	// delivery cost, amortized the way production drivers moderate
+	// interrupts per queue). Values ≤ 1 disable coalescing. The knob is
+	// resolved per QoS class: Bulk tenants coalesce with the full window,
+	// while LatencySensitive tenants bypass moderation entirely — their
+	// interrupts fire per descriptor, keeping delivery off the foreground
+	// tail — unless CoalesceAll opts them in. Poll and UMWAIT waits are
+	// never delayed by coalescing.
+	CoalesceCount int
+
+	// CoalesceWindow bounds how long a finished record may wait for
+	// siblings before the moderation timer announces the partial batch (a
+	// count-only trigger would strand tails forever). Zero with a positive
+	// CoalesceCount uses DefaultCoalesceWindow; the device rounds the
+	// window up to its moderation-timer tick (Timing.IntrCoalesceTick).
+	CoalesceWindow time.Duration
+
+	// CoalesceAll applies the coalescing window to every QoS class,
+	// including LatencySensitive (whose default is to bypass). Useful to
+	// quantify what moderation would cost a foreground tenant's tail —
+	// see the coalesce experiment — not recommended as an operating mode.
+	CoalesceAll bool
+
 	// Wait is the default completion mode for synchronous helpers and the
 	// compatibility shim: Poll, UMWait, or Interrupt (§4.4, Fig 11).
 	Wait WaitMode
@@ -92,10 +120,16 @@ type Policy struct {
 	Flags dsa.Flags
 }
 
+// DefaultCoalesceWindow is the moderation-timer bound used when a policy
+// sets CoalesceCount without a window: generous enough that a bulk burst
+// usually hits the count trigger first, tight enough that a stranded tail
+// is announced within a handful of delivery latencies.
+const DefaultCoalesceWindow = 8 * time.Microsecond
+
 // DefaultPolicy returns the guideline defaults: static 4 KB offload
 // threshold, auto-batching off, mixed-home batch splitting on (it only
-// engages under a data-aware scheduler), polled completions,
-// block-until-accepted submission, admission control off.
+// engages under a data-aware scheduler), polled completions, interrupt
+// coalescing off, block-until-accepted submission, admission control off.
 func DefaultPolicy() Policy {
 	return Policy{
 		OffloadThreshold: 4096,

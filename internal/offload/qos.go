@@ -49,6 +49,27 @@ func (c QoSClass) String() string {
 	return "bulk"
 }
 
+// coalesceParams resolves the tenant's interrupt-moderation knobs for its
+// QoS class: Bulk tenants get the policy's full count and window (with the
+// default window when unset), LatencySensitive tenants bypass moderation —
+// a coalesced foreground completion would trade its tail latency for a
+// delivery it can well afford to pay per descriptor — unless the policy
+// opts every class in (CoalesceAll). count ≤ 1 means coalescing is off.
+func (t *Tenant) coalesceParams() (count int, window sim.Time) {
+	pol := &t.policy
+	if pol.CoalesceCount <= 1 {
+		return 1, 0
+	}
+	if t.class == LatencySensitive && !pol.CoalesceAll {
+		return 1, 0
+	}
+	window = sim.Time(pol.CoalesceWindow)
+	if window <= 0 {
+		window = DefaultCoalesceWindow
+	}
+	return pol.CoalesceCount, window
+}
+
 // ErrAdmission reports a hardware submission shed by the tenant's token
 // bucket (Policy.AdmitRate exceeded with the burst exhausted). The
 // operation was not submitted; the caller can retry later, fall back to

@@ -26,6 +26,17 @@ type Tenant struct {
 	batcher *AutoBatcher
 	clients map[*dsa.WQ]*dsa.Client
 	stats   Stats
+
+	// coal is the tenant's completion coalescer — one moderation vector
+	// shared by every per-WQ client, so completions coalesce across WQs
+	// and devices (a split batch's sub-batch interrupts merge into one
+	// delivery per window). coalCount/coalWindow memoize the resolved
+	// policy knobs so SetPolicy rebuilds the coalescer only when they
+	// actually change; in-flight completions keep the window they were
+	// submitted under.
+	coal       *dsa.Coalescer
+	coalCount  int
+	coalWindow sim.Time
 }
 
 // Policy returns the tenant's active policy.
@@ -52,6 +63,23 @@ func (t *Tenant) client(wq *dsa.WQ) *dsa.Client {
 		t.clients[wq] = cl
 	}
 	return cl
+}
+
+// Coalescer returns the tenant's interrupt-moderation state per the
+// resolved policy, or nil when the tenant's class delivers per descriptor.
+// The coalescer is shared by all of the tenant's clients and rebuilt when
+// the resolved knobs change.
+func (t *Tenant) Coalescer() *dsa.Coalescer {
+	count, window := t.coalesceParams()
+	if count <= 1 {
+		t.coal, t.coalCount, t.coalWindow = nil, count, window
+		return nil
+	}
+	if t.coal == nil || t.coalCount != count || t.coalWindow != window {
+		t.coal = dsa.NewCoalescer(t.S.E, count, window, t.S.coalesceTick())
+		t.coalCount, t.coalWindow = count, window
+	}
+	return t.coal
 }
 
 // localNode returns the DRAM node on the tenant's socket (not merely the
@@ -223,6 +251,9 @@ func (t *Tenant) submitAdmitted(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) 
 		return nil, fmt.Errorf("offload: scheduler %q returned no work queue", t.S.sched.Name())
 	}
 	cl := t.client(wq)
+	// Re-resolve the moderation vector per submission so SetPolicy takes
+	// effect on the next operation, as its contract promises.
+	cl.Coal = t.Coalescer()
 	cl.Prepare(p)
 	start := p.Now()
 	comp, err := cl.TrySubmit(p, d, t.policy.MaxRetries)

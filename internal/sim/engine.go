@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -31,23 +30,68 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by (at, seq).
+// eventHeap orders events by (at, seq). It is a hand-rolled binary heap
+// rather than container/heap: the interface-based API boxes every pushed
+// and popped event into an interface{}, which allocates on each schedule.
+// Event scheduling is the innermost loop of the simulator — every Sleep of
+// a polling wait loop goes through it — so the heap works on the concrete
+// slice and the steady-state cost of At/After is zero allocations once the
+// backing array has grown to the live event count.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+
+// up restores the heap property after appending at index i.
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// down restores the heap property after replacing the root.
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// push appends an event and restores heap order.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	e.events.up(len(e.events) - 1)
+}
+
+// pop removes and returns the earliest event. The caller checks emptiness.
+func (e *Engine) pop() event {
+	ev := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{} // drop the fn reference so the GC can reclaim it
+	e.events = e.events[:n]
+	e.events.down(0)
 	return ev
 }
 
@@ -76,7 +120,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -90,7 +134,7 @@ func (e *Engine) step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	ev.fn()
 	return true

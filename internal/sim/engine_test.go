@@ -307,3 +307,70 @@ func TestRandZeroSeedRemapped(t *testing.T) {
 		t.Fatal("zero seed produced zero stream")
 	}
 }
+
+// The event path is the simulator's innermost loop: once the heap's backing
+// array has grown, scheduling and executing an event must not allocate —
+// this is what keeps a polling wait loop (Sleep per PollGap) alloc-free.
+func TestEventPathZeroAllocsSteadyState(t *testing.T) {
+	e := New()
+	fired := 0
+	fn := func() { fired++ }
+	// Warm the heap's backing array past the live event count used below.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			e.After(Time(i), fn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+run allocated %.1f times per run, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("events never fired")
+	}
+}
+
+// Heap ordering must survive the container/heap removal: events run in
+// (time, schedule-order) sequence even when pushed out of order.
+func TestEventOrderingAfterManualHeap(t *testing.T) {
+	e := New()
+	var got []int
+	times := []Time{5, 1, 3, 1, 4, 0, 5, 2}
+	for i, at := range times {
+		i, at := i, at
+		e.After(at, func() { got = append(got, i) })
+	}
+	e.Run()
+	want := []int{5, 1, 3, 7, 2, 4, 0, 6} // sorted by (at, seq)
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+// A sleeping process must not allocate per iteration: the cached wake
+// closure and the boxed-interface-free heap together make the classic
+// poll-gap spin loop zero-alloc in steady state.
+func TestProcSleepLoopZeroAllocs(t *testing.T) {
+	e := New()
+	var allocs float64
+	e.Go("spinner", func(p *Proc) {
+		// Warm up inside the proc so the measurement sees steady state.
+		for i := 0; i < 64; i++ {
+			p.Sleep(1)
+		}
+		allocs = testing.AllocsPerRun(100, func() { p.Sleep(1) })
+	})
+	e.Run()
+	if allocs != 0 {
+		t.Errorf("Proc.Sleep allocated %.1f times per iteration, want 0", allocs)
+	}
+}

@@ -15,6 +15,13 @@ type Proc struct {
 	resume chan struct{}
 	parked chan struct{}
 	done   bool
+
+	// wake is p.transfer captured once at creation: scheduling a method
+	// value allocates a fresh closure per call, and the wait loops (a
+	// polling client re-arms itself every PollGap) schedule one wake per
+	// iteration. With the closure cached, Sleep/Yield/Wait run without
+	// allocating in steady state.
+	wake func()
 }
 
 // Go starts fn as a simulated process at the current virtual time. The name
@@ -26,6 +33,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.wake = p.transfer
 	e.procs++
 	go func() {
 		<-p.resume // first transfer from the engine
@@ -34,7 +42,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		p.e.procs--
 		p.parked <- struct{}{}
 	}()
-	e.After(0, p.transfer)
+	e.After(0, p.wake)
 	return p
 }
 
@@ -65,7 +73,7 @@ func (p *Proc) Name() string { return p.name }
 
 // Sleep suspends the process for virtual duration d.
 func (p *Proc) Sleep(d Time) {
-	p.e.After(d, p.transfer)
+	p.e.After(d, p.wake)
 	p.park()
 }
 
@@ -75,14 +83,14 @@ func (p *Proc) SleepUntil(t Time) {
 	if t <= p.e.now {
 		return
 	}
-	p.e.At(t, p.transfer)
+	p.e.At(t, p.wake)
 	p.park()
 }
 
 // Yield reschedules the process at the current instant, letting other events
 // with the same timestamp run first.
 func (p *Proc) Yield() {
-	p.e.After(0, p.transfer)
+	p.e.After(0, p.wake)
 	p.park()
 }
 
@@ -104,7 +112,7 @@ func (s *Signal) Broadcast(e *Engine) {
 	ws := s.waiters
 	s.waiters = nil
 	for _, p := range ws {
-		e.After(0, p.transfer)
+		e.After(0, p.wake)
 	}
 }
 

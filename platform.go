@@ -161,6 +161,29 @@ func SPRSkew() Profile {
 	return pr
 }
 
+// SPRCoalesce returns the QoS profile hardened for the completion path
+// (§4.4): on top of SPRQoS's express/bulk WQ split and PriorityAware
+// scheduler, the default policy waits in Interrupt mode with completion
+// coalescing on — up to 16 finished records per tenant are announced by
+// one interrupt, bounded by an 8µs moderation window — so bulk tenants
+// pay one delivery latency per window instead of one per descriptor,
+// while latency-sensitive tenants bypass moderation entirely (the QoS
+// class resolution in offload.Policy) and keep their per-descriptor
+// interrupts on the express lane. Use it when completions are drained by
+// interrupt (cores shared with other work) and small-op throughput
+// matters.
+func SPRCoalesce() Profile {
+	pr := SPRQoS()
+	pr.Name = "SPR-Coalesce"
+	pol := offload.DefaultPolicy()
+	pol.AdaptiveThreshold = true
+	pol.Wait = offload.Interrupt
+	pol.CoalesceCount = 16
+	pol.CoalesceWindow = 8 * time.Microsecond
+	pr.Policy = &pol
+	return pr
+}
+
 // ICX returns the Ice Lake predecessor profile: 40 cores, 57 MB LLC, six
 // DDR4 channels, and a CBDMA engine instead of DSA (Table 2).
 func ICX() Profile {

@@ -368,3 +368,56 @@ func TestSchedulerComparisonOnSPR(t *testing.T) {
 		t.Fatalf("NUMALocal (%v) slower than RoundRobin (%v) on the 2-device SPR platform", local, rr)
 	}
 }
+
+// TestSPRCoalesceProfileWiring checks the completion-path profile end to
+// end: the QoS WQ layout with Interrupt-mode coalescing defaulted on, a
+// bulk tenant's window costing one delivery, and the latency-sensitive
+// bypass.
+func TestSPRCoalesceProfileWiring(t *testing.T) {
+	pl := NewPlatform(SPRCoalesce())
+	pol := pl.Offload.Policy()
+	if pol.Wait != offload.Interrupt {
+		t.Fatalf("default wait mode = %v, want Interrupt", pol.Wait)
+	}
+	if pol.CoalesceCount != 16 || pol.CoalesceWindow <= 0 {
+		t.Fatalf("coalescing knobs = (%d, %v), want (16, >0)", pol.CoalesceCount, pol.CoalesceWindow)
+	}
+	bulk := pl.NewTenant()
+	ls := pl.NewTenant(offload.WithClass(offload.LatencySensitive))
+	if ls.Coalescer() != nil {
+		t.Error("latency-sensitive tenant should bypass moderation")
+	}
+	const ops = 16
+	n := int64(16 << 10)
+	src, dst := bulk.Alloc(n), bulk.Alloc(n)
+	sim.NewRand(31).Bytes(src.Bytes())
+	pl.Run(func(p *sim.Proc) {
+		futs := make([]*offload.Future, 0, ops)
+		for i := 0; i < ops; i++ {
+			f, err := bulk.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			futs = append(futs, f)
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(p, pol.Wait); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("coalesced copies incomplete")
+	}
+	k := bulk.Coalescer()
+	if k == nil {
+		t.Fatal("bulk tenant has no coalescer under SPRCoalesce")
+	}
+	if k.Deliveries() >= ops {
+		t.Errorf("Deliveries = %d for %d completions — nothing coalesced", k.Deliveries(), ops)
+	}
+	if k.Deliveries()+k.CoalescedRecords() != ops {
+		t.Errorf("deliveries %d + coalesced %d != %d completions", k.Deliveries(), k.CoalescedRecords(), ops)
+	}
+}
