@@ -69,6 +69,7 @@ func BenchmarkQoSInterference(b *testing.B)      { benchExperiment(b, "qos", "p9
 func BenchmarkPlacementComparison(b *testing.B)  { benchExperiment(b, "placement", "GBps_max") }
 func BenchmarkSkewWindow(b *testing.B)           { benchExperiment(b, "skew", "GBps_max") }
 func BenchmarkCoalesceDelivery(b *testing.B)     { benchExperiment(b, "coalesce", "GBps_max") }
+func BenchmarkAdaptiveClosedLoop(b *testing.B)   { benchExperiment(b, "adaptive", "score_max") }
 
 // Device micro-benchmarks: virtual-time throughput of the model itself.
 // b.SetBytes reflects simulated payload per iteration, so MB/s measures

@@ -145,7 +145,13 @@ func (c *Client) Wait(p *sim.Proc, comp *Completion, mode WaitMode) sim.Time {
 	start := p.Now()
 	switch mode {
 	case Interrupt:
-		if k := c.Coal; k != nil && comp.coal == k {
+		// Follow the completion's own moderation vector, not the client's
+		// current one: a policy swap may have re-pointed c.Coal while this
+		// descriptor was in flight, and its delivery still belongs to the
+		// vector that tracked it — the old coalescer's timer/threshold will
+		// announce it, and falling back to the per-descriptor path here
+		// would bill a second, phantom delivery.
+		if k := comp.coal; k != nil {
 			// Coalesced delivery: block until the record is written, then
 			// until its (shared) interrupt fires. The first waiter of each
 			// interrupt pays the delivery latency and handler cost; every

@@ -67,6 +67,10 @@ type Device struct {
 	// memory (§4.3's "leaky DMA", Fig 10).
 	ddio map[mem.Addr]int64
 
+	// probe, when installed, receives raw occupancy and completion events
+	// for the streaming-telemetry subsystem (see probe.go).
+	probe Probe
+
 	stats DeviceStats
 }
 
@@ -161,7 +165,13 @@ func (d *Device) Enabled() bool { return d.enabled }
 type GroupConfig struct {
 	Engines  int // engines assigned to the group
 	ReadBufs int // read buffers assigned (0 = fair share of remainder)
-	WQs      []WQConfig
+	// ExpressBufs carves a guaranteed share of the group's read buffers
+	// for its highest-priority WQs (§3.4 F3's second knob): reads from
+	// top-priority queues draw from the reserved partition, so bulk reads
+	// saturating the remaining buffers cannot throttle the express lane.
+	// 0 keeps the single shared allocation.
+	ExpressBufs int
+	WQs         []WQConfig
 }
 
 // WQConfig describes one work queue within a group.
@@ -192,13 +202,21 @@ func (d *Device) AddGroup(cfg GroupConfig) (*Group, error) {
 	if cfg.ReadBufs < 0 || usedBufs+cfg.ReadBufs > d.Cfg.ReadBufs {
 		return nil, fmt.Errorf("dsa: read buffer overcommit")
 	}
+	if cfg.ExpressBufs < 0 {
+		return nil, fmt.Errorf("dsa: negative express read-buffer share")
+	}
+	if cfg.ReadBufs > 0 && cfg.ExpressBufs >= cfg.ReadBufs {
+		return nil, fmt.Errorf("dsa: express share %d must leave bulk read buffers (group has %d)",
+			cfg.ExpressBufs, cfg.ReadBufs)
+	}
 	if len(cfg.WQs) == 0 {
 		return nil, fmt.Errorf("dsa: group needs at least one WQ")
 	}
 	g := &Group{
-		ID:       len(d.groups),
-		Dev:      d,
-		ReadBufs: cfg.ReadBufs,
+		ID:          len(d.groups),
+		Dev:         d,
+		ReadBufs:    cfg.ReadBufs,
+		ExpressBufs: cfg.ExpressBufs,
 	}
 	for i := 0; i < cfg.Engines; i++ {
 		g.Engines = append(g.Engines, &Engine{ID: usedEngines + i, group: g})

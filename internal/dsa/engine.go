@@ -262,10 +262,13 @@ func (eng *Engine) reserveData(wk *work, spans []span, dataStart sim.Time) sim.T
 			done = fd
 		}
 	}
-	// Group read buffers bound sustainable read bandwidth.
-	if readBytes > 0 && g.readPipe != nil {
-		if rd := g.readPipe.ReserveAt(dataStart, readBytes); rd > done {
-			done = rd
+	// Group read buffers bound sustainable read bandwidth; with an express
+	// partition, top-priority reads draw from their reserved lane.
+	if readBytes > 0 {
+		if pipe := g.readPipeFor(wk); pipe != nil {
+			if rd := pipe.ReserveAt(dataStart, readBytes); rd > done {
+				done = rd
+			}
 		}
 	}
 	return done
@@ -287,7 +290,7 @@ func (eng *Engine) finishFunc(wk *work, at sim.Time, fn func() CompletionRecord)
 		g.inflight--
 		wk.comp.complete(rec)
 		if wk.wq != nil {
-			wk.wq.observeLatency(wk.comp.Latency())
+			wk.wq.noteCompleted(wk.d.PASID, wk.comp.Latency())
 		}
 		if wk.parent != nil {
 			wk.parent.childDone(rec)
@@ -418,7 +421,7 @@ func (bs *batchState) childDone(rec CompletionRecord) {
 				Result: uint64(bs.succeeded),
 			})
 			if bs.wk.wq != nil {
-				bs.wk.wq.observeLatency(bs.wk.comp.Latency())
+				bs.wk.wq.noteCompleted(bs.wk.d.PASID, bs.wk.comp.Latency())
 			}
 			g.drainSig.Broadcast(d.E)
 		})

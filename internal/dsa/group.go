@@ -9,16 +9,21 @@ import (
 // engines, with WQ priorities providing QoS and read buffers bounding
 // sustainable read bandwidth.
 type Group struct {
-	ID       int
-	Dev      *Device
-	WQs      []*WQ
-	Engines  []*Engine
-	ReadBufs int
+	ID          int
+	Dev         *Device
+	WQs         []*WQ
+	Engines     []*Engine
+	ReadBufs    int
+	ExpressBufs int // read buffers reserved for the top-priority WQs
 
 	// readPipe caps the group's aggregate read bandwidth at
 	// ReadBufs × line / local-DRAM-latency (Little's law over the read
-	// buffers; §3.4 F3).
-	readPipe *sim.Pipe
+	// buffers; §3.4 F3). When ExpressBufs partitions the allocation,
+	// readPipe carries only the bulk share and expressPipe the reserved
+	// lane for top-priority WQ reads.
+	readPipe    *sim.Pipe
+	expressPipe *sim.Pipe
+	topPrio     int // highest WQ priority in the group (express lane key)
 
 	// batchQ holds sub-descriptors fetched by the batch processing unit,
 	// ready for any engine in the group.
@@ -44,13 +49,53 @@ func (g *Group) finalize() {
 	if len(g.Dev.Sys.Nodes) > 0 {
 		latNs = float64(g.Dev.Sys.Nodes[0].ReadLat)
 	}
-	gbps := float64(g.ReadBufs) * float64(t.ReadBufLine) / latNs
-	if gbps <= 0 {
-		gbps = 0.5
+	bufGBps := func(bufs int) float64 {
+		gbps := float64(bufs) * float64(t.ReadBufLine) / latNs
+		if gbps <= 0 {
+			gbps = 0.5
+		}
+		return gbps
 	}
-	g.readPipe = sim.NewPipe(g.Dev.E, gbps)
+	for _, wq := range g.WQs {
+		if wq.Priority > g.topPrio {
+			g.topPrio = wq.Priority
+		}
+	}
+	// Auto-allocated groups (ReadBufs was 0 until Enable) may request a
+	// larger express share than they ended up with; always leave the bulk
+	// lane at least one buffer.
+	express := g.ExpressBufs
+	if express >= g.ReadBufs {
+		express = g.ReadBufs - 1
+	}
+	if express > 0 {
+		g.ExpressBufs = express
+		g.expressPipe = sim.NewPipe(g.Dev.E, bufGBps(express))
+		g.readPipe = sim.NewPipe(g.Dev.E, bufGBps(g.ReadBufs-express))
+	} else {
+		g.ExpressBufs = 0
+		g.readPipe = sim.NewPipe(g.Dev.E, bufGBps(g.ReadBufs))
+	}
 	g.credits = make([]int, len(g.WQs))
 	g.refillCredits()
+}
+
+// readPipeFor returns the read-bandwidth lane a descriptor's reads draw
+// from: the reserved express partition when the submitting WQ holds the
+// group's top priority, the shared/bulk allocation otherwise. Batch
+// sub-descriptors inherit their parent's WQ.
+func (g *Group) readPipeFor(wk *work) *sim.Pipe {
+	if g.expressPipe == nil {
+		return g.readPipe
+	}
+	wq := wk.wq
+	if wq == nil && wk.parent != nil {
+		wq = wk.parent.wk.wq
+	}
+	if wq != nil && wq.Priority >= g.topPrio {
+		return g.expressPipe
+	}
+	return g.readPipe
 }
 
 func (g *Group) refillCredits() {
@@ -81,7 +126,7 @@ func (g *Group) nextWork() (*work, bool) {
 			}
 			wk, _ := wq.q.Pop()
 			wq.occupied--
-			wq.sampleOcc()
+			wq.noteOcc()
 			g.credits[idx]--
 			g.rr = (idx + 1) % n
 			if g.allCreditsSpent() {

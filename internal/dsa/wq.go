@@ -57,21 +57,7 @@ type WQ struct {
 	// statistics
 	submitted int64
 	maxOcc    int
-
-	// Occupancy and completion-latency history, exposed to schedulers and
-	// the adaptive offload threshold (occupancy feedback into G2). Both are
-	// exponentially weighted moving averages sampled on queue events, so an
-	// idle queue's history decays as traffic drains instead of freezing at
-	// its last burst.
-	occEWMA float64 // smoothed occupied/Size fraction
-	latEWMA float64 // smoothed submit→finish latency, in nanoseconds
 }
-
-// wqEWMAAlpha is the smoothing factor of the WQ occupancy and latency
-// histories: each sample contributes 1/8, so roughly the last ~16 events
-// dominate — long enough to ride out a single burst, short enough that the
-// adaptive threshold reacts within tens of descriptors.
-const wqEWMAAlpha = 0.125
 
 // Group returns the group this WQ belongs to.
 func (w *WQ) Group() *Group { return w.group }
@@ -84,31 +70,6 @@ func (w *WQ) MaxOccupancy() int { return w.maxOcc }
 
 // Submitted returns the number of descriptors accepted by this WQ.
 func (w *WQ) Submitted() int64 { return w.submitted }
-
-// OccupancyEWMA returns the smoothed occupancy fraction in [0,1], sampled
-// at every accept and dispatch event.
-func (w *WQ) OccupancyEWMA() float64 { return w.occEWMA }
-
-// LatencyEWMA returns the smoothed submit→finish completion latency of
-// descriptors accepted by this WQ (zero until the first completion).
-func (w *WQ) LatencyEWMA() sim.Time { return sim.Time(w.latEWMA) }
-
-// sampleOcc folds the current occupancy fraction into the history.
-func (w *WQ) sampleOcc() {
-	w.occEWMA += wqEWMAAlpha * (float64(w.occupied)/float64(w.Size) - w.occEWMA)
-}
-
-// observeLatency folds one completed descriptor's latency into the history.
-func (w *WQ) observeLatency(lat sim.Time) {
-	if lat <= 0 {
-		return
-	}
-	if w.latEWMA == 0 {
-		w.latEWMA = float64(lat)
-		return
-	}
-	w.latEWMA += wqEWMAAlpha * (float64(lat) - w.latEWMA)
-}
 
 // Submit places a descriptor in the WQ at the current virtual instant,
 // returning a completion handle, or ErrWQFull when no entry is free. Submit
@@ -138,7 +99,7 @@ func (w *WQ) Submit(d Descriptor) (*Completion, error) {
 	if w.occupied > w.maxOcc {
 		w.maxOcc = w.occupied
 	}
-	w.sampleOcc()
+	w.noteOcc()
 	w.submitted++
 	w.Dev.stats.Submitted++
 	w.q.Push(wk)

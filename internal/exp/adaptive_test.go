@@ -1,0 +1,49 @@
+package exp
+
+import "testing"
+
+// TestAdaptiveClosedLoopMatchesHandTuning is the tentpole acceptance
+// check: the one unchanged adaptive policy must score within 10% of the
+// static policy hand-retuned for each regime, and the bursty regime's
+// phase changes must be flagged by the telemetry drift detector.
+func TestAdaptiveClosedLoopMatchesHandTuning(t *testing.T) {
+	tables := Adaptive()
+	t1 := tables[0]
+	if t1.ID != "adaptive" {
+		t.Fatalf("first table = %q, want adaptive", t1.ID)
+	}
+	for _, x := range t1.Xs() {
+		st, ok := t1.Get("static", x)
+		if !ok {
+			t.Fatalf("missing static score at x=%v", x)
+		}
+		ad, ok := t1.Get("adaptive", x)
+		if !ok {
+			t.Fatalf("missing adaptive score at x=%v", x)
+		}
+		if st <= 0 || ad <= 0 {
+			t.Fatalf("non-positive scores at x=%v: static %v adaptive %v", x, st, ad)
+		}
+		if ad < 0.9*st {
+			t.Errorf("regime %v: adaptive score %.3f below 90%% of hand-tuned static %.3f", x, ad, st)
+		}
+	}
+
+	t2 := tables[1]
+	if t2.ID != "adaptive-drift" {
+		t.Fatalf("second table = %q, want adaptive-drift", t2.ID)
+	}
+	xs := t2.Xs()
+	burst := xs[len(xs)-1]
+	if d, _ := t2.Get("drifts", burst); d < 1 {
+		t.Errorf("bursty regime flagged %v drifts, want >= 1", d)
+	}
+
+	t3 := tables[2]
+	if t3.ID != "adaptive-streams" {
+		t.Fatalf("third table = %q, want adaptive-streams", t3.ID)
+	}
+	if len(t3.Xs()) == 0 {
+		t.Error("telemetry stream table is empty")
+	}
+}

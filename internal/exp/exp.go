@@ -56,6 +56,7 @@ func All() []Experiment {
 		{"placement", "Data-home placement: CXL/NUMA-aware routing and batch splitting (G4)", Placement},
 		{"skew", "Skewed load: data-only vs load-aware placement vs in-flight window", Skew},
 		{"coalesce", "Completion path: QoS-aware interrupt coalescing (§4.4)", Coalesce},
+		{"adaptive", "Streaming telemetry: one closed-loop policy vs per-regime hand tuning", Adaptive},
 	}
 }
 

@@ -24,9 +24,12 @@ type DeviceSpec struct {
 
 // GroupSpec configures one group.
 type GroupSpec struct {
-	Engines  int      `json:"grouped_engines"`
-	ReadBufs int      `json:"read_buffers,omitempty"`
-	WQs      []WQSpec `json:"grouped_workqueues"`
+	Engines  int `json:"grouped_engines"`
+	ReadBufs int `json:"read_buffers,omitempty"`
+	// ExpressBufs reserves part of the group's read buffers for its
+	// top-priority WQs (the QoS read-bandwidth partition, §3.4 F3).
+	ExpressBufs int      `json:"express_read_buffers,omitempty"`
+	WQs         []WQSpec `json:"grouped_workqueues"`
 }
 
 // WQSpec configures one work queue.
@@ -136,7 +139,7 @@ func (r *Registry) Configure(spec DeviceSpec) error {
 		return fmt.Errorf("idxd: %s is %v; disable before reconfiguring", spec.Name, ent.State)
 	}
 	for gi, gs := range spec.Groups {
-		gc := dsa.GroupConfig{Engines: gs.Engines, ReadBufs: gs.ReadBufs}
+		gc := dsa.GroupConfig{Engines: gs.Engines, ReadBufs: gs.ReadBufs, ExpressBufs: gs.ExpressBufs}
 		for _, ws := range gs.WQs {
 			mode := dsa.Dedicated
 			switch ws.Mode {

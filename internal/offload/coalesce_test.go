@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"dsasim/internal/dsa"
 	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
@@ -168,6 +169,183 @@ func TestCoalesceWindowDefaults(t *testing.T) {
 	})
 	if k.Deliveries() != 1 {
 		t.Errorf("Deliveries = %d, want 1 timer-fired delivery for the tail", k.Deliveries())
+	}
+}
+
+// A policy swap under load must not orphan in-flight windows: completions
+// tracked on the old moderation vector are announced by it, and waits on
+// them resolve through that vector's shared delivery — not the expensive
+// per-descriptor fallback. The swapped run must cost exactly what the
+// unswapped run costs, since the swap only affects descriptors submitted
+// after it.
+func TestPolicySwapUnderLoadDeliversInFlight(t *testing.T) {
+	r := newRig(t, 1)
+	svc := r.service(t, offload.WithPolicy(coalescePolicy(4)))
+	tn, err := svc.NewTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(16 << 10)
+	src, dst := tn.Alloc(n), tn.Alloc(n)
+	r.run(func(p *sim.Proc) {
+		futs := make([]*offload.Future, 0, 4)
+		for i := 0; i < 4; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			futs = append(futs, f)
+		}
+		old := tn.Coalescer()
+		// Retune while the four submissions are in flight. The next
+		// operation rebuilds the vector and re-points the (single) client,
+		// so the in-flight completions' vector and the client's no longer
+		// match — the regression scenario.
+		pol := coalescePolicy(2)
+		pol.CoalesceWindow = 100 * time.Microsecond
+		tn.SetPolicy(pol)
+		f5, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if tn.Coalescer() == old {
+			t.Error("policy swap did not rebuild the coalescer")
+		}
+		// Wait the post-swap future first: by the time its (timer-bounded)
+		// delivery resolves, the old vector's count trigger has long since
+		// announced the four in-flight records.
+		if _, err := f5.Wait(p, offload.Interrupt); err != nil {
+			t.Error(err)
+		}
+		if old.Deliveries() == 0 {
+			t.Error("old coalescer announced nothing for its in-flight window")
+		}
+		if old.Pending() != 0 {
+			t.Errorf("old coalescer still holds %d undelivered records", old.Pending())
+		}
+		// Draining the four already-announced records must cost one shared
+		// delivery at most — the per-descriptor fallback would pay the full
+		// delivery latency plus handler four times over.
+		start := p.Now()
+		for _, f := range futs {
+			if _, err := f.Wait(p, offload.Interrupt); err != nil {
+				t.Error(err)
+			}
+		}
+		drain := p.Now() - start
+		tm := dsa.DefaultTiming()
+		if limit := 2 * (tm.IntrDeliver + tm.IntrHandler); drain >= limit {
+			t.Errorf("draining in-flight records took %v, want under %v (one shared delivery)", drain, limit)
+		}
+	})
+}
+
+// Admission-control retries fold into the coalescing window: a
+// backpressured tenant sleeps at least one moderation window per retry,
+// so tokens accrue in batches and the wakeup count stays far below one
+// per delayed submission.
+func TestAdmissionRetriesFoldIntoCoalesceWindows(t *testing.T) {
+	wakeups := func(coalesce int) (int64, int64) {
+		r := newRig(t, 1)
+		pol := coalescePolicy(coalesce)
+		pol.CoalesceWindow = 40 * time.Microsecond
+		// One token per 10µs with room to bank four: a window-long sleep
+		// accrues tokens for the next several sub-batches, which is the
+		// whole point of folding the retries.
+		pol.AdmitRate = 100e3
+		pol.AdmitBurst = 8
+		pol.AdmitWait = true
+		svc := r.service(t, offload.WithPolicy(pol))
+		tn, err := svc.NewTenant()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(16 << 10)
+		src, dst := tn.Alloc(n), tn.Alloc(n)
+		r.run(func(p *sim.Proc) {
+			futs := make([]*offload.Future, 0, 24)
+			for i := 0; i < 24; i++ {
+				f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				futs = append(futs, f)
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(p, offload.Interrupt); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		st := tn.Stats()
+		return st.AdmitWakeups, st.Delayed
+	}
+	folded, foldedDelayed := wakeups(8)
+	unfolded, unfoldedDelayed := wakeups(1)
+	if foldedDelayed == 0 || unfoldedDelayed == 0 {
+		t.Fatalf("admission control never delayed (folded %d, unfolded %d): rate knob broken",
+			foldedDelayed, unfoldedDelayed)
+	}
+	if unfolded == 0 {
+		t.Fatal("unfolded run recorded no wakeups")
+	}
+	if folded >= unfolded {
+		t.Errorf("folded wakeups = %d, want fewer than the per-token %d", folded, unfolded)
+	}
+}
+
+// CoalesceAdaptive sizes the window from the tenant's observed completion
+// inter-arrival gap: after a stream of closely spaced completions the
+// window shrinks below the static bound; with no history it starts there.
+func TestCoalesceAdaptiveWindowTracksArrivalRate(t *testing.T) {
+	r := newRig(t, 1)
+	pol := coalescePolicy(4)
+	pol.CoalesceWindow = 200 * time.Microsecond
+	pol.CoalesceAdaptive = true
+	svc := r.service(t, offload.WithPolicy(pol))
+	tn, err := svc.NewTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tn.Coalescer()
+	if first == nil {
+		t.Fatal("no coalescer")
+	}
+	if first.Window() < 200*time.Microsecond {
+		t.Fatalf("pre-history window = %v, want the static %v", first.Window(), 200*time.Microsecond)
+	}
+	n := int64(16 << 10)
+	src, dst := tn.Alloc(n), tn.Alloc(n)
+	r.run(func(p *sim.Proc) {
+		for round := 0; round < 8; round++ {
+			futs := make([]*offload.Future, 0, 4)
+			for i := 0; i < 4; i++ {
+				f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				futs = append(futs, f)
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(p, offload.Interrupt); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	})
+	tuned := tn.Coalescer()
+	if tuned == nil {
+		t.Fatal("coalescer dropped")
+	}
+	if tuned.Window() >= 200*time.Microsecond {
+		t.Errorf("adaptive window = %v, want shrunk below the static 200µs after fast completions", tuned.Window())
+	}
+	if tick := dsa.DefaultTiming().IntrCoalesceTick; tuned.Window() < tick {
+		t.Errorf("adaptive window = %v under the %v moderation tick", tuned.Window(), tick)
 	}
 }
 

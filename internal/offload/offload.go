@@ -68,6 +68,7 @@ import (
 	"dsasim/internal/dsa"
 	"dsasim/internal/mem"
 	"dsasim/internal/sim"
+	"dsasim/internal/telemetry"
 )
 
 // Service is the shared offload front end: one per platform (or per test
@@ -87,6 +88,11 @@ type Service struct {
 	// schedulers via Request.Topo (rebuilt on AddWQs), so Pick never
 	// re-derives socket subsets on the submission hot path.
 	topo *Topology
+
+	// met is the telemetry plane: the dsa.Probe feeding device events into
+	// the streaming digests, and the views Pressure, the placement cost
+	// model, and adaptive coalescing read (metrics.go).
+	met *metrics
 
 	// dataAware caches whether sched routes on data homes, so the
 	// submission hot path only pays the per-descriptor NodeAt lookups
@@ -168,7 +174,12 @@ func (sv *Service) AddWQs(wqs ...*dsa.WQ) {
 			sv.maxBatch = wq.Dev.Cfg.MaxBatch
 		}
 	}
+	if sv.met == nil {
+		sv.met = newMetrics(sv.E)
+	}
+	sv.met.observe(wqs)
 	sv.topo = newTopology(sv.wqs, sv.Sys)
+	sv.topo.met = sv.met
 	// The per-socket pools changed; drop the memoized pressure estimates
 	// and re-size the per-socket slots.
 	sv.pressureOK = false
@@ -193,6 +204,19 @@ func (sv *Service) coalesceTick() sim.Time {
 
 // Topology returns the service's per-socket WQ placement index.
 func (sv *Service) Topology() *Topology { return sv.topo }
+
+// Telemetry returns the service's streaming-metrics hub, synced to the
+// current virtual instant — the raw digests behind the policy views, for
+// reports and tests.
+func (sv *Service) Telemetry() *telemetry.Hub {
+	sv.met.sync()
+	return sv.met.hub
+}
+
+// Drifts returns the regime shifts the telemetry drift detector has
+// flagged so far across the per-socket latency streams and every tenant's
+// completion streams (surfaced per tenant in Stats.Drifts).
+func (sv *Service) Drifts() int64 { return sv.met.drifts() }
 
 // Scheduler returns the active scheduler.
 func (sv *Service) Scheduler() Scheduler { return sv.sched }
@@ -257,6 +281,10 @@ func (sv *Service) NewTenant(opts ...TenantOption) (*Tenant, error) {
 			wq.Dev.BindPASID(as)
 		}
 	}
+	// Register the tenant's completion streams up front so the adaptive
+	// policies can read them from the first completion on. Shared-space
+	// tenants share a PASID and therefore a stream pair.
+	sv.met.tenant(as.PASID)
 	return t, nil
 }
 

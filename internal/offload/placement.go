@@ -229,7 +229,7 @@ func (s *Placement) socketCost(req Request, socket int) sim.Time {
 			}
 		}
 	}
-	return s.smooth(socket, kind, queueDelayOf(pool)) + upiPenalty(req, socket, topo)
+	return s.smooth(socket, kind, topo.queueDelayOf(pool)) + upiPenalty(req, socket, topo)
 }
 
 // smooth folds one raw queueing-delay sample into the (socket, pool) EWMA

@@ -99,6 +99,18 @@ type Policy struct {
 	// window up to its moderation-timer tick (Timing.IntrCoalesceTick).
 	CoalesceWindow time.Duration
 
+	// CoalesceAdaptive sizes the coalescing window from each tenant's
+	// observed completion inter-arrival rate instead of the static
+	// CoalesceWindow: the window tracks the virtual time a full
+	// CoalesceCount of completions actually takes, so a fast tenant's
+	// tails are announced promptly while a slow one still fills its count.
+	// The telemetry-derived window is clamped between the device's
+	// moderation tick and the static window (CoalesceWindow or the
+	// default), quantized to the tick, and retuned only on a ≥25% move so
+	// jitter does not churn coalescer rebuilds. No effect unless
+	// CoalesceCount enables coalescing.
+	CoalesceAdaptive bool
+
 	// CoalesceAll applies the coalescing window to every QoS class,
 	// including LatencySensitive (whose default is to bypass). Useful to
 	// quantify what moderation would cost a foreground tenant's tail —
@@ -152,4 +164,14 @@ type Stats struct {
 	Failures int64 // submissions or completions that returned errors
 	Shed     int64 // logical flushes rejected by admission control
 	Delayed  int64 // logical flushes delayed by admission control
+
+	// AdmitWakeups counts the process wakeups admission-control delays
+	// cost. With coalescing on, delayed retries fold into the moderation
+	// window, so this stays well below one wakeup per delayed sub-batch.
+	AdmitWakeups int64
+
+	// Drifts counts the workload regime shifts the telemetry drift
+	// detector flagged on this tenant's completion streams (sustained
+	// window-over-window p99/rate deltas).
+	Drifts int64
 }

@@ -67,7 +67,37 @@ func (t *Tenant) coalesceParams() (count int, window sim.Time) {
 	if window <= 0 {
 		window = DefaultCoalesceWindow
 	}
+	if pol.CoalesceAdaptive {
+		window = t.adaptiveWindow(window)
+	}
 	return pol.CoalesceCount, window
+}
+
+// adaptiveWindow sizes the moderation window from the tenant's observed
+// completion inter-arrival gap: the virtual time a full CoalesceCount of
+// completions takes at the current rate, so the window is exactly long
+// enough to fill the count trigger and no longer. The estimate is clamped
+// between the device's moderation tick (below it the timer cannot resolve
+// the window) and the static window (the policy's explicit bound on how
+// long a tail may be stranded), and quantized to the tick so gap jitter
+// does not produce a stream of near-identical windows.
+func (t *Tenant) adaptiveWindow(static sim.Time) sim.Time {
+	gap := t.S.met.tenantGap(t.AS.PASID)
+	if gap <= 0 {
+		return static // no completion history yet: start from the static window
+	}
+	w := gap * sim.Time(t.policy.CoalesceCount)
+	tick := t.S.coalesceTick()
+	if tick > 0 {
+		w = (w + tick - 1) / tick * tick
+		if w < tick {
+			w = tick
+		}
+	}
+	if w > static {
+		w = static
+	}
+	return w
 }
 
 // ErrAdmission reports a hardware submission shed by the tenant's token
@@ -261,15 +291,16 @@ func (sv *Service) pressureOver(wqs []*dsa.WQ) float64 {
 	if len(wqs) == 0 {
 		return 0
 	}
+	sv.met.sync()
 	var occ float64
 	var worst sim.Time
 	for _, wq := range wqs {
-		o := wq.OccupancyEWMA()
+		o := sv.met.occEWMA(wq)
 		if inst := float64(wq.Occupancy()) / float64(wq.Size); inst > o {
 			o = inst
 		}
 		occ += o
-		if l := wq.LatencyEWMA(); l > 0 {
+		if l := sv.met.latEWMA(wq); l > 0 {
 			if sv.latFloor == 0 || l < sv.latFloor {
 				sv.latFloor = l
 			}

@@ -50,8 +50,14 @@ func (t *Tenant) SetPolicy(p Policy) { t.policy = p }
 // Class returns the tenant's QoS class.
 func (t *Tenant) Class() QoSClass { return t.class }
 
-// Stats returns a copy of the tenant counters.
-func (t *Tenant) Stats() Stats { return t.stats }
+// Stats returns a copy of the tenant counters. Drifts is read live from
+// the telemetry plane: the regime shifts flagged on this tenant's
+// completion streams so far.
+func (t *Tenant) Stats() Stats {
+	s := t.stats
+	s.Drifts = t.S.met.tenantDrifts(t.AS.PASID)
+	return s
+}
 
 // client returns the tenant's accounting client for wq, creating it on
 // first use (and late-binding the PASID for WQs added after the tenant).
@@ -74,6 +80,18 @@ func (t *Tenant) Coalescer() *dsa.Coalescer {
 	if count <= 1 {
 		t.coal, t.coalCount, t.coalWindow = nil, count, window
 		return nil
+	}
+	if t.coal != nil && count == t.coalCount && window != t.coalWindow && t.policy.CoalesceAdaptive {
+		// Adaptive windows are re-estimated per submission; retune the
+		// coalescer only on a ≥25% move, so inter-arrival jitter does not
+		// churn rebuilds (each rebuild starts a fresh delivery window).
+		diff := window - t.coalWindow
+		if diff < 0 {
+			diff = -diff
+		}
+		if 4*diff < t.coalWindow {
+			window = t.coalWindow
+		}
 	}
 	if t.coal == nil || t.coalCount != count || t.coalWindow != window {
 		t.coal = dsa.NewCoalescer(t.S.E, count, window, t.S.coalesceTick())
@@ -173,8 +191,23 @@ func (t *Tenant) admit(p *sim.Proc) error {
 			t.policy.AdmitRate, t.policy.AdmitBurst, ErrAdmission)
 	}
 	t.stats.Delayed++
+	// Fold the retry cadence into the tenant's interrupt-moderation window:
+	// waking the moment one token accrues burns one wakeup per delayed
+	// sub-batch, and each such wakeup delivers into a window that was going
+	// to close later anyway. Sleeping at least one coalescing window per
+	// retry batches the wakeups the same way deliveries are batched; the
+	// bucket keeps accruing while we sleep, so admitted throughput is
+	// unchanged. Non-coalescing tenants (count ≤ 1) keep the exact wait.
+	var floor sim.Time
+	if count, window := t.coalesceParams(); count > 1 {
+		floor = window
+	}
 	for !ok {
+		if wait < floor {
+			wait = floor
+		}
 		p.Sleep(wait)
+		t.stats.AdmitWakeups++
 		ok, wait = t.bucket.take(p.Now(), t.policy.AdmitRate, t.policy.AdmitBurst)
 	}
 	return nil

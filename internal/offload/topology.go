@@ -35,6 +35,10 @@ type Topology struct {
 	// serialization rate (zero when the system models no UPI pipe).
 	upiLat  sim.Time
 	upiGBps float64
+
+	// met is the service's telemetry plane the queueing-delay model reads
+	// its smoothed completion latencies from (set by Service.AddWQs).
+	met *metrics
 }
 
 // newTopology indexes wqs by device socket over the system's sockets;
@@ -109,19 +113,25 @@ func (t *Topology) Split(socket int) (express, rest []*dsa.WQ) {
 // latency EWMA times the occupancy. A socket with no local device reports
 // the full set's best, matching where its submissions would fall back to.
 func (t *Topology) QueueDelay(socket int) sim.Time {
-	return queueDelayOf(t.Local(socket))
+	return t.queueDelayOf(t.Local(socket))
 }
 
 // queueDelayOf estimates the queueing delay of the best WQ in pool:
 // occupancy (descriptors accepted but not yet completed ahead of a new
-// arrival) times the smoothed per-descriptor completion latency. A WQ
-// with no latency history yet estimates zero — the model needs at least
-// one completion before a backlog is priced, which the EWMAs deliver
-// within the first handful of descriptors.
-func queueDelayOf(pool []*dsa.WQ) sim.Time {
+// arrival) times the smoothed per-descriptor completion latency from the
+// telemetry plane. A WQ with no latency history yet estimates zero — the
+// model needs at least one completion before a backlog is priced, which
+// the streams deliver within the first handful of descriptors.
+func (t *Topology) queueDelayOf(pool []*dsa.WQ) sim.Time {
+	if t.met != nil {
+		t.met.sync()
+	}
 	var best sim.Time
 	for i, wq := range pool {
-		est := wq.LatencyEWMA() * sim.Time(wq.Occupancy())
+		var est sim.Time
+		if t.met != nil {
+			est = t.met.latEWMA(wq) * sim.Time(wq.Occupancy())
+		}
 		if i == 0 || est < best {
 			best = est
 		}

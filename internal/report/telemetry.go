@@ -1,0 +1,32 @@
+package report
+
+// StreamRow is one telemetry stream's windowed summary, flattened to plain
+// numbers so callers outside the telemetry package (experiments, the CLI)
+// can render digests without importing it.
+type StreamRow struct {
+	Name       string
+	Count      int64
+	RatePerSec float64
+	MeanUs     float64
+	P50Us      float64
+	P95Us      float64
+	P99Us      float64
+	Drifts     int64
+}
+
+// TelemetryTable renders stream digests as a table: one row per stream,
+// one column per summary statistic.
+func TelemetryTable(id, title string, rows []StreamRow) *Table {
+	t := New(id, title, "stream", "value")
+	for i, r := range rows {
+		x := float64(i)
+		t.SetNamed("count", r.Name, x, float64(r.Count))
+		t.SetNamed("rate_s", r.Name, x, r.RatePerSec)
+		t.SetNamed("mean_us", r.Name, x, r.MeanUs)
+		t.SetNamed("p50_us", r.Name, x, r.P50Us)
+		t.SetNamed("p95_us", r.Name, x, r.P95Us)
+		t.SetNamed("p99_us", r.Name, x, r.P99Us)
+		t.SetNamed("drifts", r.Name, x, float64(r.Drifts))
+	}
+	return t
+}

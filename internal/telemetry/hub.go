@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"dsasim/internal/sim"
+)
+
+// ID names one registered stream within a Hub.
+type ID int
+
+// shardBuf is the shard-local buffer depth. 64 samples keeps the common
+// case (a policy read every few microseconds draining a handful of
+// completions) entirely within one flush, while bounding how stale a
+// digest can be to one buffer's worth of events between reads.
+const shardBuf = 64
+
+// sample is one buffered recording: which stream, when, what value.
+type sample struct {
+	id ID
+	at sim.Time
+	v  int64
+}
+
+// Hub owns the registered streams and their digests. Streams are created
+// up front (Stream), recorded into through Shards, and read through
+// Digest views; Sync drains every shard into the digests in shard
+// registration order, so a given recording history always merges the same
+// way regardless of when reads happen.
+type Hub struct {
+	window  sim.Time
+	names   []string
+	digests []*Digest
+	shards  []*Shard
+}
+
+// NewHub returns a hub whose digests rotate on the given window span
+// (DefaultWindow when non-positive).
+func NewHub(window sim.Time) *Hub {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Hub{window: window}
+}
+
+// Window returns the tumbling-window span the hub's digests rotate on.
+func (h *Hub) Window() sim.Time { return h.window }
+
+// Stream registers a named stream and returns its ID. Registration
+// allocates; it happens at topology-build time, never on the hot path.
+func (h *Hub) Stream(name string) ID {
+	h.names = append(h.names, name)
+	h.digests = append(h.digests, NewDigest(h.window))
+	return ID(len(h.digests) - 1)
+}
+
+// Name returns the stream's registered name.
+func (h *Hub) Name(id ID) string { return h.names[id] }
+
+// Streams returns the number of registered streams.
+func (h *Hub) Streams() int { return len(h.digests) }
+
+// Digest returns the stream's digest. Callers must Sync first (or hold a
+// freshly synced hub) for the view to include buffered shard samples.
+func (h *Hub) Digest(id ID) *Digest {
+	if int(id) < 0 || int(id) >= len(h.digests) {
+		panic(fmt.Sprintf("telemetry: unknown stream id %d", id))
+	}
+	return h.digests[id]
+}
+
+// NewShard returns a shard-local recorder bound to this hub. Each
+// recording context (one per device plane, one per tenant) gets its own
+// shard so the hot path is a couple of array writes with no sharing.
+func (h *Hub) NewShard() *Shard {
+	s := &Shard{h: h}
+	h.shards = append(h.shards, s)
+	return s
+}
+
+// Sync drains every shard into the digests and rotates windows up to now.
+// It is the pull half of the shard-local/periodic-merge design: policies
+// call it (memoized per virtual instant at the policy layer) before
+// reading views, instead of a wall-clock merge timer that would keep the
+// event loop alive. Allocation-free.
+func (h *Hub) Sync(now sim.Time) {
+	for _, s := range h.shards {
+		s.flush()
+	}
+	for _, d := range h.digests {
+		d.advance2(now)
+	}
+}
+
+// Shard is a shard-local recording buffer: Record appends into a fixed
+// array, and the buffer merges into the hub's digests when it fills or at
+// the next Sync. No locks, no allocations, no cross-shard sharing on the
+// recording path.
+type Shard struct {
+	h   *Hub
+	n   int
+	buf [shardBuf]sample
+}
+
+// Record buffers one sample for the stream. Flushes inline when the
+// buffer fills — still allocation-free, since digests record in place.
+func (s *Shard) Record(id ID, at sim.Time, v int64) {
+	s.buf[s.n] = sample{id: id, at: at, v: v}
+	s.n++
+	if s.n == shardBuf {
+		s.flush()
+	}
+}
+
+// flush merges the buffered samples into the hub's digests in recording
+// order.
+func (s *Shard) flush() {
+	for i := 0; i < s.n; i++ {
+		b := &s.buf[i]
+		s.h.digests[b.id].Record(b.at, b.v)
+	}
+	s.n = 0
+}

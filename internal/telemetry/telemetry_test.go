@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"dsasim/internal/sim"
+)
+
+// exactQuantile is the reference nearest-rank quantile.
+func exactQuantile(vals []int64, q float64) int64 {
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(q*float64(len(s)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// TestSketchQuantileAccuracy records latency-like traces into a sketch and
+// checks p50/p95/p99 against the exact nearest-rank values. The log-bucket
+// layout bounds relative error at half a sub-bucket (2^-3/2 ≈ 6%); allow
+// 8% for rank rounding at the tails.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	traces := map[string][]int64{}
+
+	// Exponential inter-arrival-style trace around 2µs.
+	exp := make([]int64, 5000)
+	for i := range exp {
+		exp[i] = int64(rng.ExpFloat64() * 2000)
+	}
+	traces["exponential"] = exp
+
+	// Bimodal latency trace: fast path ~1.2µs, slow tail ~40µs.
+	bi := make([]int64, 5000)
+	for i := range bi {
+		if rng.Float64() < 0.9 {
+			bi[i] = 1000 + int64(rng.Intn(400))
+		} else {
+			bi[i] = 30000 + int64(rng.Intn(20000))
+		}
+	}
+	traces["bimodal"] = bi
+
+	// Uniform small values exercising the exact low buckets.
+	uni := make([]int64, 2000)
+	for i := range uni {
+		uni[i] = int64(rng.Intn(64))
+	}
+	traces["uniform-small"] = uni
+
+	for name, trace := range traces {
+		var sk Sketch
+		for _, v := range trace {
+			sk.Add(v)
+		}
+		if sk.Count() != int64(len(trace)) {
+			t.Fatalf("%s: count = %d, want %d", name, sk.Count(), len(trace))
+		}
+		for _, q := range []float64{0.50, 0.95, 0.99} {
+			got := sk.Quantile(q)
+			want := exactQuantile(trace, q)
+			tol := float64(want) * 0.08
+			if tol < 1 {
+				tol = 1
+			}
+			if diff := float64(got - want); diff > tol || diff < -tol {
+				t.Errorf("%s: p%.0f = %d, exact %d (tolerance %.0f)", name, q*100, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestSketchMergeOrderInvariant splits one trace across shard layouts and
+// checks the merged sketch is identical regardless of how samples were
+// sharded or in which order the shards merged.
+func TestSketchMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trace := make([]int64, 4096)
+	for i := range trace {
+		trace[i] = int64(rng.ExpFloat64() * 5000)
+	}
+
+	var whole Sketch
+	for _, v := range trace {
+		whole.Add(v)
+	}
+
+	for _, nShards := range []int{2, 3, 7} {
+		shards := make([]Sketch, nShards)
+		for i, v := range trace {
+			shards[i%nShards].Add(v)
+		}
+		// Merge in reverse registration order to stress order-invariance.
+		var merged Sketch
+		for i := nShards - 1; i >= 0; i-- {
+			merged.Merge(&shards[i])
+		}
+		if merged != whole {
+			t.Fatalf("%d shards: merged sketch differs from whole-trace sketch", nShards)
+		}
+	}
+}
+
+// TestHubShardMergeDeterminism records the same event history through
+// different shard layouts and checks every digest view agrees — the
+// determinism the commutative bucket merge buys.
+func TestHubShardMergeDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type ev struct {
+		at sim.Time
+		v  int64
+	}
+	events := make([]ev, 3000)
+	at := sim.Time(0)
+	for i := range events {
+		at += sim.Time(rng.Intn(200)) * time.Nanosecond
+		events[i] = ev{at: at, v: int64(rng.ExpFloat64() * 3000)}
+	}
+	end := at + time.Microsecond
+
+	run := func(nShards int) (int64, float64, int64, int64, float64) {
+		h := NewHub(0)
+		id := h.Stream("lat")
+		shards := make([]*Shard, nShards)
+		for i := range shards {
+			shards[i] = h.NewShard()
+		}
+		for i, e := range events {
+			shards[i%nShards].Record(id, e.at, e.v)
+		}
+		h.Sync(end)
+		d := h.Digest(id)
+		return d.Count(), d.Mean(), d.Quantile(end, 0.50), d.Quantile(end, 0.99), d.Rate(end)
+	}
+
+	c1, m1, p50a, p99a, r1 := run(1)
+	if c1 != int64(len(events)) {
+		t.Fatalf("count = %d, want %d", c1, len(events))
+	}
+	for _, n := range []int{2, 5} {
+		c, m, p50, p99, r := run(n)
+		if c != c1 || m != m1 || p50 != p50a || p99 != p99a || r != r1 {
+			t.Errorf("%d shards: views diverge from 1 shard: count %d/%d mean %g/%g p50 %d/%d p99 %d/%d rate %g/%g",
+				n, c, c1, m, m1, p50, p50a, p99, p99a, r, r1)
+		}
+	}
+}
+
+// TestDigestWindowRotationAndRate checks that quantile views age out old
+// windows and that Rate reflects the live ring, not all-time history.
+func TestDigestWindowRotationAndRate(t *testing.T) {
+	d := NewDigest(10 * time.Microsecond)
+
+	// Phase 1: slow, large values for 5 windows.
+	at := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		d.Record(at, 40000)
+		at += time.Microsecond
+	}
+	if p99 := d.Quantile(at, 0.99); p99 < 30000 {
+		t.Fatalf("phase-1 p99 = %d, want ≈40000", p99)
+	}
+
+	// Phase 2: fast, small values long enough to rotate phase 1 out of
+	// the 8-window ring entirely.
+	for i := 0; i < 1000; i++ {
+		d.Record(at, 1000)
+		at += 100 * time.Nanosecond
+	}
+	if p99 := d.Quantile(at, 0.99); p99 > 2000 {
+		t.Errorf("after rotation p99 = %d, want ≈1000 (old windows must age out)", p99)
+	}
+	if rate := d.Rate(at); rate < 5e6 {
+		t.Errorf("rate = %g/s, want ≈1e7 (live ring, not all-time)", rate)
+	}
+	if d.Count() != 1050 {
+		t.Errorf("all-time count = %d, want 1050", d.Count())
+	}
+
+	// A long idle gap fast-forwards and empties the ring.
+	at += sim.Time(100) * 10 * time.Microsecond
+	if rm := d.RecentMean(at); rm != 0 {
+		t.Errorf("recent mean after idle gap = %g, want 0", rm)
+	}
+}
+
+// TestDigestDriftDetection drives a sustained rate/p99 regime shift and
+// checks exactly the shifts are flagged: none within a stable regime, one
+// per sustained change, and single-window spikes absorbed.
+func TestDigestDriftDetection(t *testing.T) {
+	w := 10 * time.Microsecond
+	d := NewDigest(w)
+
+	record := func(at *sim.Time, n int, gap sim.Time, v int64) {
+		for i := 0; i < n; i++ {
+			d.Record(*at, v)
+			*at += gap
+		}
+	}
+
+	at := sim.Time(0)
+	// Stable regime: ~20 events/window at 2µs values, 30 windows.
+	record(&at, 600, 500*time.Nanosecond, 2000)
+	if d.Drifts() != 0 {
+		t.Fatalf("stable regime flagged %d drifts, want 0", d.Drifts())
+	}
+
+	// Regime shift: 4× the rate, 8× the value, sustained.
+	record(&at, 2400, 125*time.Nanosecond, 16000)
+	if d.Drifts() != 1 {
+		t.Fatalf("sustained shift flagged %d drifts, want 1", d.Drifts())
+	}
+	if d.LastDriftAt() == 0 {
+		t.Fatalf("LastDriftAt not set")
+	}
+
+	// Continuing in the new regime must not re-flag.
+	record(&at, 2400, 125*time.Nanosecond, 16000)
+	if d.Drifts() != 1 {
+		t.Errorf("steady new regime flagged %d drifts, want still 1", d.Drifts())
+	}
+
+	// Shift back down — second drift.
+	record(&at, 600, 500*time.Nanosecond, 2000)
+	if d.Drifts() != 2 {
+		t.Errorf("return shift flagged %d drifts, want 2", d.Drifts())
+	}
+}
+
+// TestDigestSpikeAbsorbed checks a single anomalous window does not flag.
+func TestDigestSpikeAbsorbed(t *testing.T) {
+	w := 10 * time.Microsecond
+	d := NewDigest(w)
+	at := sim.Time(0)
+	// Stable baseline.
+	for i := 0; i < 400; i++ {
+		d.Record(at, 2000)
+		at += 500 * time.Nanosecond
+	}
+	// One spiky window (one window's worth at 8× rate), then back to stable.
+	for i := 0; i < 80; i++ {
+		d.Record(at, 2000)
+		at += 125 * time.Nanosecond
+	}
+	for i := 0; i < 400; i++ {
+		d.Record(at, 2000)
+		at += 500 * time.Nanosecond
+	}
+	if d.Drifts() != 0 {
+		t.Errorf("single-window spike flagged %d drifts, want 0 (sustain=%d)", d.Drifts(), driftSustain)
+	}
+}
+
+// TestTelemetryZeroAlloc asserts the hot paths — shard Record, hub Sync,
+// and every digest read view — never allocate.
+func TestTelemetryZeroAlloc(t *testing.T) {
+	h := NewHub(0)
+	id := h.Stream("lat")
+	s := h.NewShard()
+	at := sim.Time(0)
+
+	if n := testing.AllocsPerRun(1000, func() {
+		at += 100 * time.Nanosecond
+		s.Record(id, at, 1500)
+	}); n != 0 {
+		t.Errorf("Shard.Record allocates %.1f/op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		at += time.Microsecond
+		s.Record(id, at, 1500)
+		h.Sync(at)
+	}); n != 0 {
+		t.Errorf("Hub.Sync allocates %.1f/op, want 0", n)
+	}
+
+	d := h.Digest(id)
+	if n := testing.AllocsPerRun(200, func() {
+		at += time.Microsecond
+		_ = d.EWMA()
+		_ = d.Mean()
+		_ = d.Rate(at)
+		_ = d.RecentMean(at)
+		_ = d.Quantile(at, 0.50)
+		_ = d.Quantile(at, 0.99)
+		_ = d.Drifts()
+	}); n != 0 {
+		t.Errorf("digest read views allocate %.1f/op, want 0", n)
+	}
+}

@@ -77,6 +77,11 @@ type Profile struct {
 	// QoS profiles use this to expose a reserved high-priority WQ next to
 	// a bulk one (§3.4 F3).
 	WQs []idxd.WQSpec
+	// ExpressReadBufs reserves this many of each device group's read
+	// buffers for its top-priority WQs (§3.4 F3): express reads draw
+	// bandwidth from the reserved share and never queue behind bulk
+	// floods. Zero leaves the group's read pipe shared.
+	ExpressReadBufs int
 	// Scheduler builds the offload service's WQ-selection policy
 	// (default: offload.NewRoundRobin).
 	Scheduler func() offload.Scheduler
@@ -184,6 +189,38 @@ func SPRCoalesce() Profile {
 	return pr
 }
 
+// SPRAdaptive returns the profile whose every knob closes the loop on the
+// telemetry plane instead of a hand-picked constant: one DSA per socket,
+// each exposing an express/bulk WQ pair with part of the group's read
+// buffers reserved for the express lane; the QoS-aware placement
+// scheduler; and a policy that adapts the offload threshold to device
+// pressure, detours around backlogged sockets, and sizes interrupt
+// coalescing windows from each tenant's measured completion rate
+// (Policy.CoalesceAdaptive). Use it when the workload mix shifts at
+// runtime — the control loop retunes where a static profile would need
+// re-profiling.
+func SPRAdaptive() Profile {
+	pr := SPR()
+	pr.Name = "SPR-Adaptive"
+	pr.Devices = 2
+	pr.DeviceSockets = []int{0, 1}
+	pr.WQs = []idxd.WQSpec{
+		{Mode: "shared", Size: 8, Priority: 15},
+		{Mode: "shared", Size: 24, Priority: 5},
+	}
+	pr.ExpressReadBufs = 24
+	pr.Scheduler = func() offload.Scheduler { return offload.NewPlacementQoS() }
+	pol := offload.DefaultPolicy()
+	pol.AdaptiveThreshold = true
+	pol.LoadAware = true
+	pol.Wait = offload.Interrupt
+	pol.CoalesceCount = 16
+	pol.CoalesceWindow = 8 * time.Microsecond
+	pol.CoalesceAdaptive = true
+	pr.Policy = &pol
+	return pr
+}
+
 // ICX returns the Ice Lake predecessor profile: 40 cores, 57 MB LLC, six
 // DDR4 channels, and a CBDMA engine instead of DSA (Table 2).
 func ICX() Profile {
@@ -254,8 +291,9 @@ func NewPlatform(pr Profile) *Platform {
 		spec := idxd.DeviceSpec{
 			Name: cfg.Name,
 			Groups: []idxd.GroupSpec{{
-				Engines: cfg.Engines,
-				WQs:     wqspecs,
+				Engines:     cfg.Engines,
+				ExpressBufs: pr.ExpressReadBufs,
+				WQs:         wqspecs,
 			}},
 		}
 		if err := pl.Registry.Configure(spec); err != nil {

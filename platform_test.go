@@ -9,6 +9,7 @@ import (
 	"dsasim/internal/mem"
 	"dsasim/internal/offload"
 	"dsasim/internal/sim"
+	"dsasim/internal/telemetry"
 )
 
 func TestSPRPlatformBasics(t *testing.T) {
@@ -354,6 +355,68 @@ func TestSPRSkewProfileWiring(t *testing.T) {
 	}
 	if got := pl.Devices[0].Stats().Submitted; got == 0 {
 		t.Error("home device saw no traffic")
+	}
+}
+
+// TestSPRAdaptiveProfileWiring checks the closed-loop profile end to end:
+// one device per socket with an express read-buffer partition, the
+// placement-qos scheduler, every adaptive policy knob on, and the
+// telemetry plane live (streams registered, windows advancing) after a
+// burst of traffic.
+func TestSPRAdaptiveProfileWiring(t *testing.T) {
+	pl := NewPlatform(SPRAdaptive())
+	if len(pl.Devices) != 2 {
+		t.Fatalf("devices = %d, want 2", len(pl.Devices))
+	}
+	if got := pl.Offload.Scheduler().Name(); got != "placement-qos" {
+		t.Fatalf("scheduler = %q, want placement-qos", got)
+	}
+	pol := pl.Offload.Policy()
+	if !pol.AdaptiveThreshold || !pol.LoadAware || !pol.CoalesceAdaptive {
+		t.Fatalf("adaptive knobs = (threshold %v, load %v, coalesce %v), want all on",
+			pol.AdaptiveThreshold, pol.LoadAware, pol.CoalesceAdaptive)
+	}
+	if pol.Wait != offload.Interrupt {
+		t.Fatalf("default wait mode = %v, want Interrupt", pol.Wait)
+	}
+	for i, dev := range pl.Devices {
+		g := dev.Groups()[0]
+		if g.ExpressBufs != 24 {
+			t.Fatalf("device %d express share = %d, want 24", i, g.ExpressBufs)
+		}
+	}
+	tn := pl.NewTenant()
+	n := int64(64 << 10)
+	src, dst := tn.Alloc(n), tn.Alloc(n)
+	sim.NewRand(41).Bytes(src.Bytes())
+	pl.Run(func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := f.Wait(p, pol.Wait); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("adaptive-profile copies incomplete")
+	}
+	hub := pl.Offload.Telemetry()
+	if hub == nil {
+		t.Fatal("platform service exposes no telemetry hub")
+	}
+	var sawLat bool
+	for id := 0; id < hub.Streams(); id++ {
+		if hub.Digest(telemetry.ID(id)).Count() > 0 {
+			sawLat = true
+			break
+		}
+	}
+	if !sawLat {
+		t.Error("no telemetry stream recorded any samples after traffic")
 	}
 }
 
