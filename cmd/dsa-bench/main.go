@@ -28,7 +28,18 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<id>.json files")
+	submitters := flag.Int("submitters", 0, "narrow the contention experiment's sweep to {1, N} submitters (0: full sweep)")
 	flag.Parse()
+
+	if *submitters > 0 {
+		// A quick local scaling check: one anchor point plus the requested
+		// count, instead of the full committed sweep.
+		if *submitters == 1 {
+			exp.ContentionSweep = []int{1}
+		} else {
+			exp.ContentionSweep = []int{1, *submitters}
+		}
+	}
 
 	if *list {
 		for _, e := range exp.All() {

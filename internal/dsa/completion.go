@@ -21,6 +21,14 @@ type Completion struct {
 	coal *Coalescer
 	intr *intrDelivery
 
+	// onDone, when set, runs after the record is written and waiters are
+	// woken, passing back the tag stamped at submission. The sharded
+	// submission plane uses it for completion accounting: the hook is one
+	// function stored per plane, so arming it costs two word writes and no
+	// per-operation closure.
+	onDone    func(tag uint64)
+	onDoneTag uint64
+
 	// Timeline instants (virtual time).
 	SubmitTime   sim.Time
 	DispatchTime sim.Time
@@ -40,6 +48,16 @@ func (c *Completion) complete(rec CompletionRecord) {
 	if c.coal != nil {
 		c.coal.observe(c)
 	}
+	if c.onDone != nil {
+		c.onDone(c.onDoneTag)
+	}
+}
+
+// SetOnDone arms the completion hook: fn(tag) runs when the record is
+// written, after waiters are woken and the interrupt moderation window has
+// observed the record.
+func (c *Completion) SetOnDone(fn func(tag uint64), tag uint64) {
+	c.onDone, c.onDoneTag = fn, tag
 }
 
 // Done reports whether the completion record has been written.

@@ -71,6 +71,13 @@ type Timing struct {
 	// number of ticks, so software cannot request a tighter bound than
 	// the moderation hardware resolves.
 	IntrCoalesceTick time.Duration
+	// RingPush is the software cost of publishing one prepared descriptor
+	// into a WQ's lock-free submission ring (SubmitRing.TryPush): one CAS
+	// on the shared tail plus a 64-byte slot write. It is the only point
+	// where concurrent submitters to one ring serialize, and it is what a
+	// sharded submission plane pays instead of the service mutex's hold
+	// time.
+	RingPush time.Duration
 }
 
 // DefaultTiming returns the Sapphire Rapids DSA calibration.
@@ -92,6 +99,7 @@ func DefaultTiming() Timing {
 		IntrDeliver:      2 * time.Microsecond,
 		IntrHandler:      600 * time.Nanosecond,
 		IntrCoalesceTick: 500 * time.Nanosecond,
+		RingPush:         15 * time.Nanosecond,
 	}
 }
 

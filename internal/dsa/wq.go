@@ -54,6 +54,10 @@ type WQ struct {
 	q        sim.FIFO[*work]
 	occupied int // entries consumed (freed on dispatch to an engine)
 
+	// ring, when attached, is the lock-free software submission ring
+	// feeding this WQ's ENQCMD path (see SubmitRing / AttachRing).
+	ring *SubmitRing
+
 	// statistics
 	submitted int64
 	maxOcc    int

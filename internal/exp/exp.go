@@ -57,6 +57,7 @@ func All() []Experiment {
 		{"skew", "Skewed load: data-only vs load-aware placement vs in-flight window", Skew},
 		{"coalesce", "Completion path: QoS-aware interrupt coalescing (§4.4)", Coalesce},
 		{"adaptive", "Streaming telemetry: one closed-loop policy vs per-regime hand tuning", Adaptive},
+		{"contention", "Sharded submission plane: Submit/Wait scaling vs submitters", Contention},
 	}
 }
 

@@ -91,7 +91,7 @@ func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
 	case 0:
 		return nil, fmt.Errorf("offload: empty batch")
 	case 1:
-		b.t.stats.Batches++
+		b.t.stats.batches.Add(1)
 		d := b.descs[0]
 		b.descs = nil
 		return b.t.submit(p, d, b.flags)
@@ -110,7 +110,7 @@ func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
 		if groups == nil {
 			return b.t.submitSlice(p, descs, b.flags)
 		}
-		b.t.stats.Splits += int64(len(groups))
+		b.t.stats.splits.Add(int64(len(groups)))
 		parts := make([]*Future, 0, len(groups))
 		for _, idx := range groups {
 			sub := make([]dsa.Descriptor, len(idx))
@@ -137,12 +137,12 @@ func (t *Tenant) submitSlice(p *sim.Proc, descs []dsa.Descriptor, flags dsa.Flag
 		// Stats.Batches counts real parents, matching flushSlice.
 		return t.submitAdmitted(p, descs[0], flags)
 	}
-	t.stats.Batches++
+	t.stats.batches.Add(1)
 	f, err := t.submitAdmitted(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, flags)
 	if err == nil {
 		// The OpBatch parent carries Size 0; account the payload.
 		for _, d := range descs {
-			t.stats.HWBytes += d.Size
+			t.stats.hwBytes.Add(d.Size)
 		}
 	}
 	return f, err
@@ -246,7 +246,7 @@ func (ab *AutoBatcher) add(p *sim.Proc, d dsa.Descriptor) (*Future, error) {
 	ab.pending = append(ab.pending, d)
 	f := &Future{t: ab.t, op: d.Op, ab: ab, start: p.Now()}
 	ab.futs = append(ab.futs, f)
-	ab.t.stats.Coalesce++
+	ab.t.stats.coalesce.Add(1)
 	limit := ab.t.policy.AutoBatch
 	if devMax := ab.t.S.maxBatch; limit > devMax {
 		limit = devMax
@@ -290,7 +290,7 @@ func (ab *AutoBatcher) Flush(p *sim.Proc) error {
 	if groups == nil {
 		return ab.flushSlice(p, descs, futs)
 	}
-	ab.t.stats.Splits += int64(len(groups))
+	ab.t.stats.splits.Add(int64(len(groups)))
 	var firstErr error
 	for _, idx := range groups {
 		sub := make([]dsa.Descriptor, len(idx))
@@ -315,7 +315,7 @@ func (ab *AutoBatcher) flushSlice(p *sim.Proc, descs []dsa.Descriptor, futs []*F
 	if len(descs) == 1 {
 		parent, err = ab.t.submitAdmitted(p, descs[0], 0)
 	} else {
-		ab.t.stats.Batches++
+		ab.t.stats.batches.Add(1)
 		parent, err = ab.t.submitAdmitted(p, dsa.Descriptor{Op: dsa.OpBatch, Descs: descs}, 0)
 	}
 	if err != nil {
@@ -330,7 +330,7 @@ func (ab *AutoBatcher) flushSlice(p *sim.Proc, descs []dsa.Descriptor, futs []*F
 		// The OpBatch parent carries Size 0; account the coalesced
 		// payload (a single-descriptor flush was counted by submit).
 		for _, d := range descs {
-			ab.t.stats.HWBytes += d.Size
+			ab.t.stats.hwBytes.Add(d.Size)
 		}
 	}
 	shared := &batchWait{}

@@ -184,7 +184,7 @@ func (f *Future) resolve(dur sim.Time) {
 			}
 			f.sharedWait.failCounted = true
 		}
-		f.t.stats.Failures++
+		f.t.stats.failures.Add(1)
 	}
 	switch rec.Status {
 	case dsa.StatusSuccess:

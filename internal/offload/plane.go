@@ -1,0 +1,424 @@
+// The sharded submission plane: per-shard lanes feeding lock-free
+// per-WQ rings, with pressure/placement signals aggregated periodically
+// instead of read synchronously on every submission.
+//
+// The classic Tenant path serializes every submitter through shared
+// state: one admission bucket, one AutoBatcher, one coalescer rebuild
+// check, and scheduler Picks that read live EWMAs. One submitter never
+// notices; at 64 the shared state is the queue. The plane shards the
+// tenant-side state per submission lane — each submitting context owns a
+// lane and touches nothing shared on the fast path — and funnels
+// descriptors into each WQ's ENQCMD path through a bounded lock-free
+// MPSC ring (dsa.SubmitRing), whose push is a couple of atomics. The
+// global signals the classic path read synchronously (WQ occupancy,
+// queueing delay) become a periodically published Snapshot: lanes load
+// one pointer instead of syncing the telemetry hub per Pick.
+//
+// Scheduling semantics are preserved, not replaced: lane candidate sets
+// are precomputed from the same Topology express/rest partition the
+// PriorityAware/Placement schedulers use (a latency-sensitive tenant's
+// lanes only ever target the reserved express WQs on its socket), the
+// per-lane admission buckets shard the same Policy.AdmitRate, and
+// completions flow through the unchanged device completion path —
+// including interrupt coalescing, whose resolved count also paces the
+// plane's wakeup moderation.
+package offload
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dsasim/internal/dsa"
+	"dsasim/internal/sim"
+)
+
+// planeAggCadence is the shard→global aggregation period: how often the
+// drain republishes the Snapshot lanes route on, and the sync cadence
+// installed on the telemetry hub so policy reads between publishes share
+// one merge. A couple of microseconds keeps routing within one device
+// service quantum of the truth without per-submission synchronization.
+const planeAggCadence = 2 * time.Microsecond
+
+// Plane is a tenant's sharded submission front end: N Lanes (one per
+// submitting context) over one lock-free SubmitRing per service WQ, a
+// drain that moves ring entries into the device WQs and publishes the
+// routing Snapshot, and completion-side wakeup moderation. Build one
+// with Tenant.NewPlane; hand each submitter its own Lane.
+type Plane struct {
+	t     *Tenant
+	lanes []*Lane
+	wqs   []*dsa.WQ
+	rings []*dsa.SubmitRing
+
+	// ringTok serializes concurrent virtual-time pushes into one ring:
+	// a capacity-1 slot held for Timing.RingPush models the CAS that
+	// publishes a slot — the only cross-submitter serialization left,
+	// priced at nanoseconds instead of a lock's microseconds.
+	ringTok []*sim.Token
+
+	// lsCand/bulkCand are the ring indices each QoS class may target,
+	// precomputed from the Topology express/rest partition on the
+	// tenant's socket so the host fast path never walks WQ slices.
+	lsCand   []int
+	bulkCand []int
+
+	// pending counts entries pushed to rings but not yet accepted by a
+	// WQ; inflight counts WQ-accepted descriptors not yet completed.
+	// Both are atomics: lanes increment pending from concurrent host
+	// goroutines while the drain and completion hooks run engine-side.
+	pending  atomic.Int64
+	inflight atomic.Int64
+
+	// snap is the periodically published routing signal (per-ring WQ
+	// occupancy). Lanes Load it — one atomic pointer read replaces the
+	// synchronous telemetry sync the classic Pick path pays.
+	snap atomic.Pointer[Snapshot]
+
+	// Completion-side wakeup moderation: completed() broadcasts doneSig
+	// every wakeEvery-th completion (resolved from the tenant's
+	// coalescing count) or when inflight drains to zero, so a waiter at
+	// 64 outstanding ops is not woken 64 times.
+	doneSig   sim.Signal
+	wakeEvery int64
+	compCount atomic.Int64
+
+	drainOn bool
+	lastPub sim.Time
+	pubbed  bool
+}
+
+// Snapshot is the plane's published routing signal: the occupancy of
+// each ring's WQ at publish time. Lanes add each ring's live length on
+// top, so routing reacts to their own bursts immediately and to device
+// drain at the aggregation cadence.
+type Snapshot struct {
+	At  sim.Time
+	Occ []int32 // indexed like Plane.rings
+}
+
+// Lane is one submission shard: lane-local admission bucket and routing
+// cursor, shared nothing. A Lane belongs to exactly one submitting
+// context (goroutine in host-parallel benchmarks, process in the
+// simulation) — its methods are not safe for concurrent use on the
+// same Lane, which is the point.
+type Lane struct {
+	pl     *Plane
+	id     int
+	bucket tokenBucket
+	cursor int
+}
+
+// NewPlane attaches a sharded submission plane with nlanes lanes to the
+// tenant. One plane per tenant, one ring per service WQ; the telemetry
+// hub switches to periodic aggregation at the plane's cadence. Returns
+// an error if the tenant already has a plane or any service WQ already
+// carries a submission ring (one plane per WQ set).
+func (t *Tenant) NewPlane(nlanes int) (*Plane, error) {
+	if nlanes < 1 {
+		return nil, fmt.Errorf("offload: plane needs at least 1 lane, got %d", nlanes)
+	}
+	if t.plane != nil {
+		return nil, fmt.Errorf("offload: tenant already has a submission plane")
+	}
+	wqs := t.S.wqs
+	for _, wq := range wqs {
+		if wq.Ring() != nil {
+			return nil, fmt.Errorf("offload: wq %d of %s already has a submission ring", wq.ID, wq.Dev.Cfg.Name)
+		}
+	}
+	pl := &Plane{
+		t:       t,
+		wqs:     wqs,
+		rings:   make([]*dsa.SubmitRing, len(wqs)),
+		ringTok: make([]*sim.Token, len(wqs)),
+	}
+	for i, wq := range wqs {
+		pl.rings[i] = wq.AttachRing(wq.Size)
+		pl.ringTok[i] = sim.NewToken(1)
+	}
+	pl.lsCand, pl.bulkCand = pl.candidates()
+	count, _ := t.coalesceParams()
+	pl.wakeEvery = 1
+	if count > 1 {
+		pl.wakeEvery = int64(count)
+	}
+	pl.lanes = make([]*Lane, nlanes)
+	for i := range pl.lanes {
+		// Cursors start strided so lanes spread across the candidate
+		// set instead of all hammering ring 0 before the first Snapshot.
+		pl.lanes[i] = &Lane{pl: pl, id: i, cursor: i}
+	}
+	t.S.met.hub.SetSyncCadence(planeAggCadence)
+	pl.Publish(t.S.E.Now())
+	t.plane = pl
+	return pl, nil
+}
+
+// candidates precomputes the ring-index sets each QoS class may target,
+// mirroring pickExpress: the tenant-socket pool when the socket has a
+// local device (full set otherwise), partitioned into the express lane
+// for latency-sensitive tenants and the rest for bulk — collapsing to
+// the shared pool when priorities are uniform.
+func (pl *Plane) candidates() (ls, bulk []int) {
+	topo := pl.t.S.topo
+	socket := pl.t.Core.Socket
+	pool := topo.Local(socket)
+	express, rest := topo.Split(socket)
+	idx := make(map[*dsa.WQ]int, len(pl.wqs))
+	for i, wq := range pl.wqs {
+		idx[wq] = i
+	}
+	toIdx := func(wqs []*dsa.WQ) []int {
+		out := make([]int, 0, len(wqs))
+		for _, wq := range wqs {
+			out = append(out, idx[wq])
+		}
+		return out
+	}
+	if len(rest) == 0 {
+		shared := toIdx(pool)
+		return shared, shared
+	}
+	return toIdx(express), toIdx(rest)
+}
+
+// Plane returns the tenant's submission plane, or nil before NewPlane.
+func (t *Tenant) Plane() *Plane { return t.plane }
+
+// Lane returns the i-th lane. Each submitting context must own its lane
+// exclusively.
+func (pl *Plane) Lane(i int) *Lane { return pl.lanes[i] }
+
+// Lanes returns the lane count.
+func (pl *Plane) Lanes() int { return len(pl.lanes) }
+
+// WQs returns the work queues the plane feeds, indexed like its rings.
+func (pl *Plane) WQs() []*dsa.WQ { return pl.wqs }
+
+// Pending returns entries pushed to rings but not yet WQ-accepted.
+func (pl *Plane) Pending() int64 { return pl.pending.Load() }
+
+// Inflight returns WQ-accepted descriptors not yet completed.
+func (pl *Plane) Inflight() int64 { return pl.inflight.Load() }
+
+// Publish rebuilds and publishes the routing Snapshot from live WQ
+// occupancy. The drain calls it at the aggregation cadence; host-side
+// tests and benchmarks call it directly (there is no drain off-engine).
+func (pl *Plane) Publish(now sim.Time) {
+	s := &Snapshot{At: now, Occ: make([]int32, len(pl.wqs))}
+	for i, wq := range pl.wqs {
+		s.Occ[i] = int32(wq.Occupancy())
+	}
+	pl.snap.Store(s)
+	pl.lastPub, pl.pubbed = now, true
+}
+
+// laneShare returns this lane's shard of the tenant's admission policy:
+// the rate divides evenly across lanes, the burst divides with a floor
+// of one so every lane can issue at least one back-to-back submission.
+func (l *Lane) laneShare() (rate float64, burst int) {
+	pol := &l.pl.t.policy
+	n := len(l.pl.lanes)
+	burst = pol.AdmitBurst / n
+	if burst < 1 {
+		burst = 1
+	}
+	return pol.AdmitRate / float64(n), burst
+}
+
+// pickRing routes one submission: among the lane's class candidates,
+// the ring whose published WQ occupancy plus live ring backlog is
+// smallest, scanned from a lane-local strided cursor so equally loaded
+// rings spread across lanes instead of herding. Allocation-free.
+func (l *Lane) pickRing() int {
+	cands := l.pl.bulkCand
+	if l.pl.t.class == LatencySensitive {
+		cands = l.pl.lsCand
+	}
+	snap := l.pl.snap.Load()
+	n := len(cands)
+	best, bestLoad := -1, int32(0)
+	for k := 0; k < n; k++ {
+		i := cands[(l.cursor+k)%n]
+		load := int32(l.pl.rings[i].Len())
+		if snap != nil {
+			load += snap.Occ[i]
+		}
+		if best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	l.cursor++
+	return best
+}
+
+// TrySubmit is the host-domain fast path: lane-local admission, a
+// Snapshot-routed ring pick, and one lock-free push — no engine, no
+// locks, no allocation. It returns ErrAdmission when the lane's bucket
+// sheds the submission and dsa.ErrWQFull when every candidate ring is
+// full (the caller retries or sheds, as with bounded-retry submission).
+// now is the submitter's notion of virtual time; concurrent callers on
+// distinct lanes never share state beyond the rings' atomics.
+func (l *Lane) TrySubmit(now sim.Time, d dsa.Descriptor) error {
+	rate, burst := l.laneShare()
+	if ok, _ := l.bucket.take(now, rate, burst); !ok {
+		l.pl.t.stats.shed.Add(1)
+		return ErrAdmission
+	}
+	d.PASID = l.pl.t.AS.PASID
+	d.Flags |= l.pl.t.policy.Flags
+	idx := l.pickRing()
+	if !l.pl.rings[idx].TryPush(d, uint64(l.id)) {
+		// Preferred ring full: sweep the remaining candidates once.
+		cands := l.pl.bulkCand
+		if l.pl.t.class == LatencySensitive {
+			cands = l.pl.lsCand
+		}
+		pushed := false
+		for _, i := range cands {
+			if i != idx && l.pl.rings[i].TryPush(d, uint64(l.id)) {
+				pushed = true
+				break
+			}
+		}
+		if !pushed {
+			l.pl.t.stats.failures.Add(1)
+			return dsa.ErrWQFull
+		}
+	}
+	l.pl.t.stats.hwOps.Add(1)
+	l.pl.t.stats.hwBytes.Add(d.Size)
+	l.pl.pending.Add(1)
+	return nil
+}
+
+// Submit is the simulation-domain path: the same lane-local admission
+// and routing as TrySubmit, but charging virtual time the way hardware
+// does — the ENQCMD issue in the submitter's own timeline (64 procs pay
+// it in parallel, not in series) and the ring's slot-publish CAS as a
+// capacity-1 token held for Timing.RingPush, the only serialization
+// point left between submitters sharing a ring. The drain is scheduled
+// lazily and the submission completes through the normal device path.
+func (l *Lane) Submit(p *sim.Proc, d dsa.Descriptor) error {
+	pl := l.pl
+	t := pl.t
+	rate, burst := l.laneShare()
+	ok, wait := l.bucket.take(p.Now(), rate, burst)
+	if !ok {
+		if !t.policy.AdmitWait {
+			t.stats.shed.Add(1)
+			return fmt.Errorf("offload: lane %d over admission share: %w", l.id, ErrAdmission)
+		}
+		t.stats.delayed.Add(1)
+		for !ok {
+			p.Sleep(wait)
+			t.stats.admitWakeups.Add(1)
+			ok, wait = l.bucket.take(p.Now(), rate, burst)
+		}
+	}
+	d.PASID = t.AS.PASID
+	d.Flags |= t.policy.Flags
+	tm := pl.wqs[0].Dev.Cfg.Timing
+	idx := l.pickRing()
+	// The slot-publish CAS: submitters racing into one ring serialize
+	// for RingPush nanoseconds each, in arrival order.
+	at := pl.ringTok[idx].Acquire(p.Now(), tm.RingPush)
+	p.SleepUntil(at + tm.RingPush)
+	// The portal write itself is per-submitter work: each lane's proc
+	// pays it in its own virtual timeline.
+	p.Sleep(tm.SubmitENQCMD)
+	for !pl.rings[idx].TryPush(d, uint64(l.id)) {
+		p.Sleep(tm.PollGap)
+	}
+	t.stats.hwOps.Add(1)
+	t.stats.hwBytes.Add(d.Size)
+	pl.pending.Add(1)
+	pl.ensureDrain()
+	return nil
+}
+
+// ensureDrain spawns the drain process if it is not already running.
+// Engine-domain only (the simulation is single-threaded, so the check
+// cannot race); the drain exits when the rings empty, keeping the event
+// loop free of perpetual timers.
+func (pl *Plane) ensureDrain() {
+	if pl.drainOn {
+		return
+	}
+	pl.drainOn = true
+	pl.t.S.E.Go("plane-drain", pl.drain)
+}
+
+// drain moves ring entries into the device WQs: pop, WQ.Submit (zero
+// virtual cost — the submitter already paid the portal write in its own
+// timeline), hook the completion for wakeup moderation. A full WQ holds
+// the popped entry and retries after a poll gap; the Snapshot
+// republishes at the aggregation cadence; the process exits when the
+// rings run dry.
+func (pl *Plane) drain(p *sim.Proc) {
+	held := make([]dsa.RingEntry, len(pl.rings))
+	holding := make([]bool, len(pl.rings))
+	for {
+		progressed := false
+		blocked := false
+		for i := range pl.rings {
+			for {
+				if !holding[i] {
+					e, ok := pl.rings[i].Pop()
+					if !ok {
+						break
+					}
+					held[i], holding[i] = e, true
+				}
+				comp, err := pl.wqs[i].Submit(held[i].D)
+				if err != nil {
+					blocked = true
+					break
+				}
+				comp.SetOnDone(pl.completed, uint64(i))
+				holding[i] = false
+				pl.inflight.Add(1)
+				pl.pending.Add(-1)
+				progressed = true
+			}
+		}
+		if now := p.Now(); progressed || now >= pl.lastPub+planeAggCadence {
+			pl.Publish(now)
+		}
+		if pl.pending.Load() == 0 {
+			pl.drainOn = false
+			return
+		}
+		if blocked {
+			// Waiting on WQ slots: completions free them, paced by the
+			// device; poll at the gap the submission retry loop uses.
+			p.Sleep(pl.wqs[0].Dev.Cfg.Timing.PollGap)
+		} else {
+			// New pushes landed behind our scan at this instant.
+			p.Yield()
+		}
+	}
+}
+
+// completed is the plane's completion hook (dsa.Completion.SetOnDone):
+// decrement inflight and wake waiters — every wakeEvery-th completion,
+// or immediately when the plane drains to zero, mirroring how interrupt
+// coalescing amortizes delivery.
+func (pl *Plane) completed(uint64) {
+	left := pl.inflight.Add(-1)
+	if left == 0 || pl.compCount.Add(1)%pl.wakeEvery == 0 {
+		pl.doneSig.Broadcast(pl.t.S.E)
+	}
+}
+
+// WaitInflight parks the process until at most max operations remain
+// outstanding (pending in rings plus inflight on devices). max 0 is a
+// full barrier. Wakeups are moderated by the plane's completion hook,
+// so deep pipelines pay one wakeup per coalescing window, not per op.
+func (pl *Plane) WaitInflight(p *sim.Proc, max int64) {
+	for pl.pending.Load()+pl.inflight.Load() > max {
+		pl.ensureDrain()
+		p.Wait(&pl.doneSig)
+	}
+}

@@ -1,0 +1,201 @@
+package offload_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"dsasim/internal/dsa"
+	"dsasim/internal/offload"
+	"dsasim/internal/sim"
+)
+
+// planeRig builds a service plus one plane-backed tenant over the rig's
+// WQs. wqcfg defaults to the rig's (one 32-entry dedicated WQ/device).
+func planeRig(t *testing.T, sockets, lanes int, class offload.QoSClass, wqcfg ...dsa.WQConfig) (*rig, *offload.Tenant, *offload.Plane) {
+	t.Helper()
+	r := newRig(t, sockets, wqcfg...)
+	svc := r.service(t)
+	tn, err := svc.NewTenant(offload.WithClass(class))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := tn.NewPlane(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, tn, pl
+}
+
+func TestPlaneOnePerWQSet(t *testing.T) {
+	r, tn, _ := planeRig(t, 1, 2, offload.Bulk)
+	if _, err := tn.NewPlane(2); err == nil {
+		t.Fatal("second plane on one tenant did not fail")
+	}
+	svc2, err := offload.NewService(r.e, r.sys, r.wqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn2, err := svc2.NewTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn2.NewPlane(2); err == nil {
+		t.Fatal("plane over already-ringed WQs did not fail")
+	}
+	if _, err := tn2.NewPlane(0); err == nil {
+		t.Fatal("zero-lane plane did not fail")
+	}
+}
+
+// TestPlaneQoSCandidates checks the lanes honor the same express/rest
+// reservation the PriorityAware Pick path applies: a latency-sensitive
+// tenant's pushes land only on the top-priority WQ rings, a bulk
+// tenant's only on the rest.
+func TestPlaneQoSCandidates(t *testing.T) {
+	cfg := []dsa.WQConfig{
+		{Mode: dsa.Shared, Size: 32, Priority: 10},
+		{Mode: dsa.Shared, Size: 32, Priority: 1},
+	}
+	for _, tc := range []struct {
+		class   offload.QoSClass
+		wantPri int
+	}{
+		{offload.LatencySensitive, 10},
+		{offload.Bulk, 1},
+	} {
+		_, _, pl := planeRig(t, 1, 2, tc.class, cfg...)
+		lane := pl.Lane(0)
+		for i := 0; i < 8; i++ {
+			if err := lane.TrySubmit(0, dsa.Descriptor{Op: dsa.OpMemmove, Size: 4096}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, wq := range pl.WQs() {
+			got := wq.Ring().Len()
+			if wq.Priority == tc.wantPri && got != 8 {
+				t.Errorf("%v: priority-%d ring holds %d entries, want 8", tc.class, wq.Priority, got)
+			}
+			if wq.Priority != tc.wantPri && got != 0 {
+				t.Errorf("%v: priority-%d ring holds %d entries, want 0", tc.class, wq.Priority, got)
+			}
+		}
+	}
+}
+
+// TestPlaneRoutingLeastLoaded checks the snapshot+backlog routing: with
+// one ring pre-loaded, new submissions spread to the emptier rings.
+func TestPlaneRoutingLeastLoaded(t *testing.T) {
+	cfg := []dsa.WQConfig{
+		{Mode: dsa.Shared, Size: 32},
+		{Mode: dsa.Shared, Size: 32},
+	}
+	_, _, pl := planeRig(t, 1, 1, offload.Bulk, cfg...)
+	wqs := pl.WQs()
+	// Pre-load ring 0 out of band, as a sibling lane's burst would.
+	for i := 0; i < 6; i++ {
+		if !wqs[0].Ring().TryPush(dsa.Descriptor{Op: dsa.OpNop}, 0) {
+			t.Fatal("pre-load push failed")
+		}
+	}
+	lane := pl.Lane(0)
+	for i := 0; i < 6; i++ {
+		if err := lane.TrySubmit(0, dsa.Descriptor{Op: dsa.OpMemmove, Size: 4096}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := wqs[1].Ring().Len(); got != 6 {
+		t.Errorf("ring 1 holds %d entries, want all 6 routed around the backlog", got)
+	}
+}
+
+// TestPlaneAdmissionShards checks each lane's bucket is an independent
+// shard of the tenant rate: every lane admits its burst share, then
+// sheds, without any lane stealing a sibling's tokens.
+func TestPlaneAdmissionShards(t *testing.T) {
+	_, tn, pl := planeRig(t, 1, 4, offload.Bulk)
+	pol := tn.Policy()
+	pol.AdmitRate = 1000 // ~1 token/ms: nothing re-accrues within the test
+	pol.AdmitBurst = 4   // one per lane
+	tn.SetPolicy(pol)
+	d := dsa.Descriptor{Op: dsa.OpMemmove, Size: 4096}
+	for i := 0; i < pl.Lanes(); i++ {
+		if err := pl.Lane(i).TrySubmit(0, d); err != nil {
+			t.Fatalf("lane %d burst submission shed: %v", i, err)
+		}
+	}
+	for i := 0; i < pl.Lanes(); i++ {
+		if err := pl.Lane(i).TrySubmit(0, d); !errors.Is(err, offload.ErrAdmission) {
+			t.Fatalf("lane %d over-burst submission err = %v, want ErrAdmission", i, err)
+		}
+	}
+	if s := tn.Stats(); s.HWOps != 4 || s.Shed != 4 {
+		t.Errorf("stats = %d admitted / %d shed, want 4/4", s.HWOps, s.Shed)
+	}
+}
+
+// TestPlaneSimSubmitCompletes drives the full simulation path: N procs
+// each own a lane, submit copies through it, and barrier on
+// WaitInflight(0); every descriptor must reach a WQ, complete, and be
+// accounted, with the drain exiting cleanly (Engine.Run returning).
+func TestPlaneSimSubmitCompletes(t *testing.T) {
+	const lanes, perLane = 8, 25
+	r, tn, pl := planeRig(t, 2, lanes, offload.Bulk,
+		dsa.WQConfig{Mode: dsa.Shared, Size: 32})
+	src := tn.Alloc(4096)
+	dst := tn.Alloc(4096)
+	d := dsa.Descriptor{Op: dsa.OpMemmove, Src: src.Addr(0), Dst: dst.Addr(0), Size: 4096}
+	for i := 0; i < lanes; i++ {
+		lane := pl.Lane(i)
+		r.e.Go("submitter", func(p *sim.Proc) {
+			for j := 0; j < perLane; j++ {
+				if err := lane.Submit(p, d); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			pl.WaitInflight(p, 0)
+		})
+	}
+	r.e.Run()
+	if pl.Pending() != 0 || pl.Inflight() != 0 {
+		t.Fatalf("after run: pending %d inflight %d, want 0/0", pl.Pending(), pl.Inflight())
+	}
+	var submitted int64
+	for _, wq := range pl.WQs() {
+		submitted += wq.Submitted()
+	}
+	if submitted != lanes*perLane {
+		t.Errorf("WQs accepted %d descriptors, want %d", submitted, lanes*perLane)
+	}
+	if s := tn.Stats(); s.HWOps != lanes*perLane || s.HWBytes != lanes*perLane*4096 {
+		t.Errorf("stats = %d ops / %d bytes, want %d / %d",
+			s.HWOps, s.HWBytes, lanes*perLane, lanes*perLane*4096)
+	}
+}
+
+// TestSubmitZeroAllocsParallel is the satellite alloc gate: the host
+// fast path must stay allocation-free under parallel submitters, the
+// property that makes 64-goroutine scaling possible at all.
+func TestSubmitZeroAllocsParallel(t *testing.T) {
+	_, _, pl := planeRig(t, 1, 64, offload.Bulk,
+		dsa.WQConfig{Mode: dsa.Shared, Size: 128})
+	d := dsa.Descriptor{Op: dsa.OpMemmove, Size: 4096}
+	var next atomic.Int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			lane := pl.Lane(int(next.Add(1)-1) % pl.Lanes())
+			var now sim.Time
+			for pb.Next() {
+				now += 100
+				// A full ring sheds with a sentinel error — still
+				// allocation-free, so saturation cannot mask a leak.
+				_ = lane.TrySubmit(now, d)
+			}
+		})
+	})
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("Lane.TrySubmit allocates %d times per op under RunParallel, want 0", allocs)
+	}
+}

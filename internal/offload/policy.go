@@ -1,6 +1,7 @@
 package offload
 
 import (
+	"sync/atomic"
 	"time"
 
 	"dsasim/internal/dsa"
@@ -174,4 +175,38 @@ type Stats struct {
 	// detector flagged on this tenant's completion streams (sustained
 	// window-over-window p99/rate deltas).
 	Drifts int64
+}
+
+// statCounters is the tenant's live counter storage. The fields mirror
+// Stats but are atomics: the sharded submission plane increments them from
+// concurrently running submitter goroutines (host-parallel benchmarks and
+// the race job), where the plain int64 increments the public struct used
+// to hold would be torn reads/writes. Tenant.Stats assembles a plain Stats
+// copy from loads.
+type statCounters struct {
+	hwOps, swOps     atomic.Int64
+	hwBytes, swBytes atomic.Int64
+	batches          atomic.Int64
+	coalesce         atomic.Int64
+	splits           atomic.Int64
+	failures         atomic.Int64
+	shed, delayed    atomic.Int64
+	admitWakeups     atomic.Int64
+}
+
+// snapshot assembles the public Stats view from atomic loads.
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		HWOps:        c.hwOps.Load(),
+		SWOps:        c.swOps.Load(),
+		HWBytes:      c.hwBytes.Load(),
+		SWBytes:      c.swBytes.Load(),
+		Batches:      c.batches.Load(),
+		Coalesce:     c.coalesce.Load(),
+		Splits:       c.splits.Load(),
+		Failures:     c.failures.Load(),
+		Shed:         c.shed.Load(),
+		Delayed:      c.delayed.Load(),
+		AdmitWakeups: c.admitWakeups.Load(),
+	}
 }

@@ -25,7 +25,16 @@ type Tenant struct {
 	bucket  tokenBucket
 	batcher *AutoBatcher
 	clients map[*dsa.WQ]*dsa.Client
-	stats   Stats
+
+	// stats counters are atomic: the submission plane's lanes increment
+	// them from concurrent host goroutines while tests and dashboards read
+	// Stats() (satellite of the sharded-plane work — the plain counters
+	// here used to race at 64 submitters).
+	stats statCounters
+
+	// plane, when non-nil, is the tenant's sharded submission front end
+	// (one per tenant; see NewPlane).
+	plane *Plane
 
 	// coal is the tenant's completion coalescer — one moderation vector
 	// shared by every per-WQ client, so completions coalesce across WQs
@@ -54,7 +63,7 @@ func (t *Tenant) Class() QoSClass { return t.class }
 // the telemetry plane: the regime shifts flagged on this tenant's
 // completion streams so far.
 func (t *Tenant) Stats() Stats {
-	s := t.stats
+	s := t.stats.snapshot()
 	s.Drifts = t.S.met.tenantDrifts(t.AS.PASID)
 	return s
 }
@@ -186,11 +195,11 @@ func (t *Tenant) admit(p *sim.Proc) error {
 		return nil
 	}
 	if !t.policy.AdmitWait {
-		t.stats.Shed++
+		t.stats.shed.Add(1)
 		return fmt.Errorf("offload: tenant over %.0f ops/s (burst %d): %w",
 			t.policy.AdmitRate, t.policy.AdmitBurst, ErrAdmission)
 	}
-	t.stats.Delayed++
+	t.stats.delayed.Add(1)
 	// Fold the retry cadence into the tenant's interrupt-moderation window:
 	// waking the moment one token accrues burns one wakeup per delayed
 	// sub-batch, and each such wakeup delivers into a window that was going
@@ -207,7 +216,7 @@ func (t *Tenant) admit(p *sim.Proc) error {
 			wait = floor
 		}
 		p.Sleep(wait)
-		t.stats.AdmitWakeups++
+		t.stats.admitWakeups.Add(1)
 		ok, wait = t.bucket.take(p.Now(), t.policy.AdmitRate, t.policy.AdmitBurst)
 	}
 	return nil
@@ -291,23 +300,23 @@ func (t *Tenant) submitAdmitted(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) 
 	start := p.Now()
 	comp, err := cl.TrySubmit(p, d, t.policy.MaxRetries)
 	if err != nil {
-		t.stats.Failures++
+		t.stats.failures.Add(1)
 		return nil, err
 	}
-	t.stats.HWOps++
-	t.stats.HWBytes += d.Size
+	t.stats.hwOps.Add(1)
+	t.stats.hwBytes.Add(d.Size)
 	return &Future{t: t, cl: cl, comp: comp, op: d.Op, start: start}, nil
 }
 
 // sw wraps a completed software-path result, charging the core time.
 func (t *Tenant) sw(p *sim.Proc, start sim.Time, bytes int64, dur sim.Time, err error, fill func(*Result)) (*Future, error) {
 	if err != nil {
-		t.stats.Failures++
+		t.stats.failures.Add(1)
 		return nil, err
 	}
 	p.Sleep(dur)
-	t.stats.SWOps++
-	t.stats.SWBytes += bytes
+	t.stats.swOps.Add(1)
+	t.stats.swBytes.Add(bytes)
 	res := Result{Duration: p.Now() - start}
 	if fill != nil {
 		fill(&res)
@@ -452,7 +461,7 @@ func (t *Tenant) DIFCheck(p *sim.Proc, src mem.Addr, n int64, bs dif.BlockSize, 
 	start := p.Now()
 	dur, err := t.Core.DIFCheck(src, n, bs, tags)
 	if err != nil {
-		t.stats.Failures++
+		t.stats.failures.Add(1)
 		return completed(Result{Duration: dur}, err), err
 	}
 	return t.sw(p, start, n, dur, nil, nil)

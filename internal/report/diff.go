@@ -21,6 +21,14 @@ type Gate struct {
 	Series     string `json:"series"`  // numerator: the series whose win is asserted
 	Against    string `json:"against"` // denominator: the baseline series it must beat
 	Note       string `json:"note,omitempty"`
+
+	// MinRatio, when positive, is an absolute floor on the current ratio
+	// in addition to the relative regression check: the gate fails when
+	// the measured speedup drops below it even if the committed baseline
+	// has drifted down with it. Scaling gates use this to pin a property
+	// of the design itself (e.g. ≥0.7 efficiency at 64 submitters)
+	// rather than a property of the last committed run.
+	MinRatio float64 `json:"min_ratio,omitempty"`
 }
 
 // String renders the gate's identity for reports.
@@ -80,6 +88,9 @@ func CompareGates(gates []Gate, baseline, current map[string]BenchDoc, maxRegres
 			r.Failed = true
 			r.Reason = fmt.Sprintf("speedup %.2fx below %.0f%% of baseline %.2fx",
 				cur, (1-maxRegression)*100, base)
+		} else if g.MinRatio > 0 && cur < g.MinRatio {
+			r.Failed = true
+			r.Reason = fmt.Sprintf("speedup %.2fx below absolute floor %.2fx", cur, g.MinRatio)
 		}
 		results = append(results, r)
 	}

@@ -55,6 +55,40 @@ func TestCompareGatesPassAndFail(t *testing.T) {
 	}
 }
 
+func TestCompareGatesMinRatio(t *testing.T) {
+	g := Gate{Experiment: "contention", Table: "contention", X: "64",
+		Series: "sharded", Against: "ideal", MinRatio: 0.7}
+
+	// Baseline and current agree at 0.95 efficiency: both checks pass.
+	good := map[string]BenchDoc{
+		"contention": doc("contention", map[string]float64{"sharded/64": 38.0, "ideal/64": 40.0}),
+	}
+	res := CompareGates([]Gate{g}, good, good, 0.15)
+	if len(res) != 1 || res[0].Failed {
+		t.Fatalf("0.95 efficiency failed the 0.7 floor: %+v", res)
+	}
+
+	// Baseline drifted down to 0.60: the relative check alone would pass
+	// an equally bad current run, but the absolute floor must not.
+	drifted := map[string]BenchDoc{
+		"contention": doc("contention", map[string]float64{"sharded/64": 24.0, "ideal/64": 40.0}),
+	}
+	res = CompareGates([]Gate{g}, drifted, drifted, 0.15)
+	if len(res) != 1 || !res[0].Failed {
+		t.Fatalf("0.60 efficiency passed the 0.7 floor: %+v", res)
+	}
+	if !strings.Contains(res[0].Reason, "floor") {
+		t.Fatalf("floor failure reason = %q", res[0].Reason)
+	}
+
+	// Without MinRatio the drifted pair passes (relative check only).
+	g.MinRatio = 0
+	res = CompareGates([]Gate{g}, drifted, drifted, 0.15)
+	if res[0].Failed {
+		t.Fatalf("floorless gate failed on matching baseline/current: %+v", res)
+	}
+}
+
 func TestCompareGatesMissingDataFails(t *testing.T) {
 	g := Gate{Experiment: "placement", Table: "placement", X: "skew", Series: "placement-load", Against: "placement"}
 	full := map[string]BenchDoc{

@@ -24,14 +24,27 @@ type sample struct {
 
 // Hub owns the registered streams and their digests. Streams are created
 // up front (Stream), recorded into through Shards, and read through
-// Digest views; Sync drains every shard into the digests in shard
-// registration order, so a given recording history always merges the same
-// way regardless of when reads happen.
+// Digest views; Sync merges every shard's buffered samples into the
+// digests in global timestamp order (ties broken by shard registration
+// order), so a given recording history always merges the same way
+// regardless of which shard recorded what or when reads happen — the
+// order-sensitive views (EWMA) are as deterministic as the commutative
+// ones.
 type Hub struct {
 	window  sim.Time
 	names   []string
 	digests []*Digest
 	shards  []*Shard
+
+	// cadence, when positive, rate-limits the shard→digest merge: a Sync
+	// within cadence of the last merge returns without draining, so hot
+	// policy paths that sync before every read share one periodic
+	// aggregation instead of merging per call (the BriskStream
+	// periodic-aggregation point). Zero (the default) merges on every
+	// Sync, the exact pre-cadence behavior.
+	cadence  sim.Time
+	lastSync sim.Time
+	synced   bool
 }
 
 // NewHub returns a hub whose digests rotate on the given window span
@@ -78,17 +91,53 @@ func (h *Hub) NewShard() *Shard {
 	return s
 }
 
-// Sync drains every shard into the digests and rotates windows up to now.
-// It is the pull half of the shard-local/periodic-merge design: policies
-// call it (memoized per virtual instant at the policy layer) before
-// reading views, instead of a wall-clock merge timer that would keep the
-// event loop alive. Allocation-free.
+// SetSyncCadence bounds how often Sync actually merges the shards: calls
+// within d of the last merge are no-ops, so views can be at most d stale.
+// A non-positive d restores merge-on-every-Sync.
+func (h *Hub) SetSyncCadence(d sim.Time) { h.cadence = d }
+
+// Sync merges every shard's buffered samples into the digests in global
+// timestamp order and rotates windows up to now. It is the pull half of
+// the shard-local/periodic-merge design: policies call it (rate-limited by
+// SetSyncCadence and memoized per virtual instant at the policy layer)
+// before reading views, instead of a wall-clock merge timer that would
+// keep the event loop alive. Allocation-free.
 func (h *Hub) Sync(now sim.Time) {
-	for _, s := range h.shards {
-		s.flush()
+	if h.synced && h.cadence > 0 && now < h.lastSync+h.cadence {
+		return
 	}
+	h.lastSync, h.synced = now, true
+	h.merge()
 	for _, d := range h.digests {
 		d.advance2(now)
+	}
+}
+
+// merge is the k-way shard drain: repeatedly take the buffered sample with
+// the smallest timestamp across all shards (earliest-registered shard wins
+// ties) and record it into its digest. With strictly increasing recording
+// timestamps the merged order equals the global recording order whatever
+// shard each sample landed on, which is what makes the order-sensitive
+// EWMA view shard-count-invariant. Linear scan per pop: shard counts are
+// small (one per device plane plus one per tenant) and buffers are 64
+// deep, and it keeps the merge allocation-free.
+func (h *Hub) merge() {
+	for {
+		var best *Shard
+		for _, s := range h.shards {
+			if s.pos < s.n && (best == nil || s.buf[s.pos].at < best.buf[best.pos].at) {
+				best = s
+			}
+		}
+		if best == nil {
+			break
+		}
+		b := &best.buf[best.pos]
+		best.pos++
+		h.digests[b.id].Record(b.at, b.v)
+	}
+	for _, s := range h.shards {
+		s.n, s.pos = 0, 0
 	}
 }
 
@@ -99,11 +148,15 @@ func (h *Hub) Sync(now sim.Time) {
 type Shard struct {
 	h   *Hub
 	n   int
+	pos int // merge cursor into buf, owned by Hub.merge
 	buf [shardBuf]sample
 }
 
 // Record buffers one sample for the stream. Flushes inline when the
-// buffer fills — still allocation-free, since digests record in place.
+// buffer fills — the overflow fallback merges this shard's samples in
+// recording order ahead of the next Sync (still allocation-free, since
+// digests record in place); size the sync cadence so the common case
+// stays under one buffer per merge.
 func (s *Shard) Record(id ID, at sim.Time, v int64) {
 	s.buf[s.n] = sample{id: id, at: at, v: v}
 	s.n++
@@ -113,11 +166,11 @@ func (s *Shard) Record(id ID, at sim.Time, v int64) {
 }
 
 // flush merges the buffered samples into the hub's digests in recording
-// order.
+// order (the single-shard overflow path; Sync uses the k-way merge).
 func (s *Shard) flush() {
 	for i := 0; i < s.n; i++ {
 		b := &s.buf[i]
 		s.h.digests[b.id].Record(b.at, b.v)
 	}
-	s.n = 0
+	s.n, s.pos = 0, 0
 }

@@ -154,6 +154,99 @@ func TestHubShardMergeDeterminism(t *testing.T) {
 	}
 }
 
+// TestShardAggregationDeterminism is the sharded-submission-plane guarantee:
+// N shards recording one interleaved event history merge into exactly the
+// views a single shard recording the same history sequentially produces —
+// including the order-sensitive EWMA, which the timestamp-ordered k-way
+// merge makes shard-count-invariant (timestamps are strictly increasing, so
+// merge order equals recording order whatever shard each sample landed on).
+// Syncs happen mid-history, at different points per layout, to prove the
+// merged state does not depend on when aggregation ran either.
+func TestShardAggregationDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type ev struct {
+		at sim.Time
+		v  int64
+	}
+	events := make([]ev, 3000)
+	at := sim.Time(0)
+	for i := range events {
+		at += sim.Time(1+rng.Intn(200)) * time.Nanosecond
+		events[i] = ev{at: at, v: int64(rng.ExpFloat64() * 3000)}
+	}
+	end := at + time.Microsecond
+
+	type views struct {
+		count    int64
+		mean     float64
+		ewma     float64
+		p50, p99 int64
+		rate     float64
+	}
+	run := func(nShards, syncEvery int) views {
+		h := NewHub(0)
+		id := h.Stream("lat")
+		shards := make([]*Shard, nShards)
+		for i := range shards {
+			shards[i] = h.NewShard()
+		}
+		for i, e := range events {
+			shards[i%nShards].Record(id, e.at, e.v)
+			if (i+1)%syncEvery == 0 {
+				h.Sync(e.at)
+			}
+		}
+		h.Sync(end)
+		d := h.Digest(id)
+		return views{d.Count(), d.Mean(), d.EWMA(), d.Quantile(end, 0.50), d.Quantile(end, 0.99), d.Rate(end)}
+	}
+
+	want := run(1, 40)
+	if want.count != int64(len(events)) {
+		t.Fatalf("count = %d, want %d", want.count, len(events))
+	}
+	for _, tc := range []struct{ shards, syncEvery int }{{2, 40}, {5, 40}, {5, 17}, {8, 61}} {
+		if got := run(tc.shards, tc.syncEvery); got != want {
+			t.Errorf("%d shards (sync every %d): views diverge from sequential: got %+v want %+v",
+				tc.shards, tc.syncEvery, got, want)
+		}
+	}
+}
+
+// TestHubSyncCadence checks the rate-limited merge: Syncs within the
+// cadence of the last merge leave the views untouched, the first Sync at
+// or past the cadence drains the shards.
+func TestHubSyncCadence(t *testing.T) {
+	h := NewHub(0)
+	id := h.Stream("lat")
+	s := h.NewShard()
+	h.SetSyncCadence(2 * time.Microsecond)
+
+	s.Record(id, 100, 1000)
+	h.Sync(sim.Time(time.Microsecond)) // first sync always merges
+	if c := h.Digest(id).Count(); c != 1 {
+		t.Fatalf("first Sync merged %d samples, want 1", c)
+	}
+
+	s.Record(id, sim.Time(time.Microsecond)+100, 2000)
+	h.Sync(sim.Time(2 * time.Microsecond)) // within cadence: no merge
+	if c := h.Digest(id).Count(); c != 1 {
+		t.Fatalf("within-cadence Sync merged early: count %d, want 1", c)
+	}
+
+	h.Sync(sim.Time(3 * time.Microsecond)) // past cadence: merges
+	if c := h.Digest(id).Count(); c != 2 {
+		t.Fatalf("past-cadence Sync did not merge: count %d, want 2", c)
+	}
+
+	h.SetSyncCadence(0)
+	s.Record(id, sim.Time(3*time.Microsecond)+100, 3000)
+	h.Sync(sim.Time(3*time.Microsecond) + 200) // cadence off: every Sync merges
+	if c := h.Digest(id).Count(); c != 3 {
+		t.Fatalf("cadence-off Sync did not merge: count %d, want 3", c)
+	}
+}
+
 // TestDigestWindowRotationAndRate checks that quantile views age out old
 // windows and that Rate reflects the live ring, not all-time history.
 func TestDigestWindowRotationAndRate(t *testing.T) {
