@@ -323,6 +323,29 @@ func (c *Core) DeltaApply(dst, record mem.Addr, recordLen, dstLen int64) (sim.Ti
 	return c.routineTime(OpDeltaApply, recordLen, operand{record, recordLen, false}, operand{dst, recordLen, true}), nil
 }
 
+// Decompress inflates the n-byte compressed image at src into dst (at most
+// maxDst bytes), returning the produced length. The functional kernel is
+// internal/isal's RLE inflate; the cost is charged per *output* byte — an
+// igzip-style decoder streams the decoded data through the store pipe, so
+// the produced size, not the compressed size, bounds its bandwidth.
+func (c *Core) Decompress(dst, src mem.Addr, n, maxDst int64) (int64, sim.Time, error) {
+	sv, err := c.AS.View(src, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	dv, err := c.AS.View(dst, maxDst)
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := isal.Decompress(dv, sv)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := c.routineTime(OpDecompress, int64(m),
+		operand{src, n, false}, operand{dst, int64(m), true})
+	return int64(m), d, nil
+}
+
 // CacheFlush evicts the address range from the LLC (CLFLUSHOPT sweep).
 func (c *Core) CacheFlush(addr mem.Addr, n int64) (sim.Time, error) {
 	if _, _, err := c.AS.Lookup(addr); err != nil {

@@ -64,13 +64,14 @@ const (
 	OpDeltaCreate
 	OpDeltaApply
 	OpCacheFlush
+	OpDecompress
 )
 
 // String returns the routine name.
 func (o Op) String() string {
 	names := [...]string{"memcpy", "memset", "memcmp", "compare_pattern", "crc32",
 		"copy_crc", "dualcast", "dif_check", "dif_insert", "dif_strip", "dif_update",
-		"delta_create", "delta_apply", "cache_flush"}
+		"delta_create", "delta_apply", "cache_flush", "decompress"}
 	if int(o) < len(names) {
 		return names[o]
 	}
@@ -128,7 +129,8 @@ func SPRModel() Model {
 			OpDIFUpdate:      0.65,
 			OpDeltaCreate:    0.7,
 			OpDeltaApply:     1.0,
-			OpCacheFlush:     2.0, // CLFLUSHOPT sweep, no data movement
+			OpCacheFlush:     2.0,  // CLFLUSHOPT sweep, no data movement
+			OpDecompress:     0.45, // igzip-style inflate: branchy decode per output byte
 		},
 	}
 }

@@ -206,4 +206,12 @@ type CompletionRecord struct {
 	Mismatch       bool     // Compare/ComparePattern: buffers differed
 	FaultAddr      mem.Addr // faulting address for StatusPageFault
 	Err            error    // model-level detail (not in real HW; aids tests)
+
+	// Children holds the per-child completion records of a batch parent, in
+	// submission order. Real DSA writes each batch child's record to its own
+	// completion-record address; the model surfaces them on the parent so
+	// result-producing children (CRC, compare, delta) keep their values when
+	// fused into one batch — fenced pipeline chains read per-stage results
+	// from here. Nil for non-batch descriptors.
+	Children []CompletionRecord
 }

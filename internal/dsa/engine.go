@@ -293,7 +293,7 @@ func (eng *Engine) finishFunc(wk *work, at sim.Time, fn func() CompletionRecord)
 			wk.wq.noteCompleted(wk.d.PASID, wk.comp.Latency())
 		}
 		if wk.parent != nil {
-			wk.parent.childDone(rec)
+			wk.parent.childDone(wk.childIdx, rec)
 		}
 		g.drainSig.Broadcast(d.E)
 	})
@@ -328,10 +328,10 @@ type batchState struct {
 	eng       *Engine
 	wk        *work
 	children  []Descriptor
+	childRecs []CompletionRecord // per-child records, indexed by child position
 	nextIssue int
 	completed int
 	succeeded int
-	lastRec   CompletionRecord
 	failed    bool
 }
 
@@ -357,7 +357,12 @@ func (eng *Engine) executeBatch(wk *work) {
 	}
 	fetchDone := d.fabric.ReserveAt(now+t.EngineSetup+fetchLat, n)
 
-	bs := &batchState{eng: eng, wk: wk, children: wk.d.Descs}
+	bs := &batchState{
+		eng:       eng,
+		wk:        wk,
+		children:  wk.d.Descs,
+		childRecs: make([]CompletionRecord, len(wk.d.Descs)),
+	}
 	d.E.At(fetchDone, func() {
 		bs.issueReady()
 		// The fetching engine frees once the children are queued; it can
@@ -381,6 +386,7 @@ func (bs *batchState) issueReady() {
 			d:         child,
 			comp:      newCompletion(g.Dev.E),
 			parent:    bs,
+			childIdx:  bs.nextIssue,
 			fromBatch: true,
 			enqueued:  g.Dev.E.Now(),
 		}
@@ -391,10 +397,12 @@ func (bs *batchState) issueReady() {
 }
 
 // childDone records a child completion and, when the batch is complete,
-// writes the batch-granular completion record.
-func (bs *batchState) childDone(rec CompletionRecord) {
+// writes the batch-granular completion record. Children can finish out of
+// submission order (several engines drain the batch queue), so the record
+// lands at the child's own index.
+func (bs *batchState) childDone(idx int, rec CompletionRecord) {
 	bs.completed++
-	bs.lastRec = rec
+	bs.childRecs[idx] = rec
 	if rec.Status == StatusSuccess {
 		bs.succeeded++
 	} else {
@@ -417,8 +425,9 @@ func (bs *batchState) childDone(rec CompletionRecord) {
 			d.stats.Completed++
 			g.inflight-- // the batch parent's own inflight slot
 			bs.wk.comp.complete(CompletionRecord{
-				Status: status,
-				Result: uint64(bs.succeeded),
+				Status:   status,
+				Result:   uint64(bs.succeeded),
+				Children: bs.childRecs,
 			})
 			if bs.wk.wq != nil {
 				bs.wk.wq.noteCompleted(bs.wk.d.PASID, bs.wk.comp.Latency())

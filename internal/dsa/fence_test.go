@@ -1,0 +1,114 @@
+package dsa
+
+import (
+	"testing"
+
+	"dsasim/internal/isal"
+	"dsasim/internal/sim"
+)
+
+// A fence on the FIRST batch child orders it against nothing (no prior
+// children exist), so it must issue immediately rather than deadlock the
+// batch processing unit waiting for zero completions.
+func TestBatchFenceOnFirstChild(t *testing.T) {
+	r := newRig(t)
+	src := r.alloc(8192)
+	dst := r.alloc(8192)
+	sim.NewRand(20).Bytes(src.Bytes())
+	subs := []Descriptor{
+		{Op: OpMemmove, Flags: FlagFence, Src: src.Addr(0), Dst: dst.Addr(0), Size: 4096},
+		{Op: OpMemmove, Src: src.Addr(4096), Dst: dst.Addr(4096), Size: 4096},
+	}
+	rec := r.runSync(t, Descriptor{Op: OpBatch, PASID: 1, Descs: subs})
+	if rec.Status != StatusSuccess || rec.Result != 2 {
+		t.Fatalf("fence-first batch = %+v", rec)
+	}
+}
+
+// Back-to-back fences fully serialize a chain: each child waits for every
+// earlier one, so a 4-child fenced chain on a 4-engine group takes longer
+// than the same chain unfenced (which spreads across the engines). This is
+// exactly the chain shape pipeline compilation emits for a linear DAG.
+func TestBatchBackToBackFencesSerialize(t *testing.T) {
+	run := func(flags Flags) sim.Time {
+		r := newRig(t)
+		n := int64(64 << 10)
+		src := r.alloc(4 * n)
+		dst := r.alloc(4 * n)
+		var subs []Descriptor
+		for i := int64(0); i < 4; i++ {
+			f := flags
+			if i == 0 {
+				f = 0 // nothing to order against
+			}
+			subs = append(subs, Descriptor{
+				Op: OpMemmove, Flags: f, Src: src.Addr(i * n), Dst: dst.Addr(i * n), Size: n,
+			})
+		}
+		wq := r.dev.WQs()[0]
+		cl := NewClient(wq, nil)
+		var lat sim.Time
+		r.e.Go("bench", func(p *sim.Proc) {
+			comp, err := cl.RunSync(p, Descriptor{Op: OpBatch, PASID: 1, Descs: subs}, Poll)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if comp.Record().Status != StatusSuccess {
+				t.Errorf("batch = %+v", comp.Record())
+			}
+			lat = comp.Latency()
+		})
+		r.e.Run()
+		return lat
+	}
+	fenced := run(FlagFence)
+	parallel := run(0)
+	if fenced <= parallel {
+		t.Fatalf("fully fenced chain latency %v not above parallel %v", fenced, parallel)
+	}
+}
+
+// The batch parent surfaces one completion record per child (real DSA
+// writes a CR for every batch child that requests one), in submission
+// order — pipeline result scatter depends on both the presence and the
+// ordering, even when out-of-order engines finish children out of order.
+func TestBatchChildCompletionRecords(t *testing.T) {
+	r := newRig(t)
+	n := 4
+	bufs := make([][]byte, n)
+	var subs []Descriptor
+	for i := 0; i < n; i++ {
+		// Mixed sizes so children finish out of submission order.
+		size := int64(1024 << (n - 1 - i))
+		b := r.alloc(size)
+		sim.NewRand(uint64(30 + i)).Bytes(b.Bytes())
+		bufs[i] = b.Bytes()
+		subs = append(subs, Descriptor{Op: OpCRCGen, Src: b.Addr(0), Size: size})
+	}
+	rec := r.runSync(t, Descriptor{Op: OpBatch, PASID: 1, Descs: subs})
+	if rec.Status != StatusSuccess {
+		t.Fatalf("batch = %+v", rec)
+	}
+	if len(rec.Children) != n {
+		t.Fatalf("children records = %d, want %d", len(rec.Children), n)
+	}
+	for i, cr := range rec.Children {
+		if cr.Status != StatusSuccess {
+			t.Errorf("child %d status = %v", i, cr.Status)
+		}
+		if want := uint64(isal.CRC32(0, bufs[i])); cr.Result != want {
+			t.Errorf("child %d CRC = %#x, want %#x (records out of order?)", i, cr.Result, want)
+		}
+	}
+}
+
+// Non-batch descriptors carry no child records.
+func TestSingleDescriptorHasNoChildRecords(t *testing.T) {
+	r := newRig(t)
+	buf := r.alloc(1024)
+	rec := r.runSync(t, Descriptor{Op: OpFill, PASID: 1, Dst: buf.Addr(0), Size: 1024, Pattern: 7})
+	if rec.Status != StatusSuccess || rec.Children != nil {
+		t.Fatalf("single-descriptor record = %+v, want nil Children", rec)
+	}
+}

@@ -38,6 +38,7 @@ type work struct {
 	comp      *Completion
 	wq        *WQ         // accepting WQ (nil for batch sub-descriptors)
 	parent    *batchState // non-nil for batch sub-descriptors
+	childIdx  int         // position within the parent batch's children
 	fromBatch bool
 	enqueued  sim.Time
 }

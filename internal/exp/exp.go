@@ -58,6 +58,7 @@ func All() []Experiment {
 		{"coalesce", "Completion path: QoS-aware interrupt coalescing (§4.4)", Coalesce},
 		{"adaptive", "Streaming telemetry: one closed-loop policy vs per-regime hand tuning", Adaptive},
 		{"contention", "Sharded submission plane: Submit/Wait scaling vs submitters", Contention},
+		{"pipeline", "Operation pipelines: fused multi-op DAGs vs per-stage submission (§4/§6)", Pipeline},
 	}
 }
 

@@ -1,0 +1,62 @@
+package exp
+
+import "testing"
+
+// TestPipelineFusionSpeedup is the tentpole acceptance check: fusing a
+// 3-stage chain into one fenced batch submission must beat stage-at-a-time
+// hardware submission by ≥1.5x — the property the CI gate pins with an
+// absolute floor — and the win must grow with chain depth (more per-stage
+// software windows amortized into the single fused one).
+func TestPipelineFusionSpeedup(t *testing.T) {
+	tables := Pipeline()
+	if len(tables) != 2 || tables[0].ID != "pipeline" || tables[1].ID != "pipeline-size" {
+		t.Fatalf("tables = %v, want [pipeline pipeline-size]", tables)
+	}
+	depth := tables[0]
+	for _, x := range depth.Xs() {
+		for _, s := range []string{"fused", "sequential"} {
+			if v, ok := depth.Get(s, x); !ok || v <= 0 {
+				t.Fatalf("missing or non-positive point (%s, %v)", s, x)
+			}
+		}
+	}
+
+	ratioAt := func(x float64) float64 {
+		f, _ := depth.Get("fused", x)
+		s, _ := depth.Get("sequential", x)
+		return f / s
+	}
+	if r := ratioAt(3); r < 1.5 {
+		t.Errorf("fused/sequential at 3 stages = %.3fx, want >= 1.5x", r)
+	}
+	// Deeper chains amortize more per-stage windows: the win is monotone.
+	prev := 0.0
+	for _, x := range depth.Xs() {
+		r := ratioAt(x)
+		t.Logf("depth %v: fused/sequential = %.3fx", x, r)
+		if r < prev {
+			t.Errorf("fusion win fell from %.3fx to %.3fx at depth %v", prev, r, x)
+		}
+		prev = r
+	}
+
+	// The storage chain: fused DIF-strip→write must hold the 4K floor the
+	// second CI gate pins, and every size must still win.
+	size := tables[1]
+	for _, x := range size.Xs() {
+		f, okf := size.Get("fused", x)
+		s, oks := size.Get("sequential", x)
+		if !okf || !oks || s <= 0 {
+			t.Fatalf("missing pipeline-size point at %v", x)
+		}
+		t.Logf("size %v: fused/sequential = %.3fx", x, f/s)
+		if f <= s {
+			t.Errorf("fused DIF-strip→write (%.2f GB/s) does not beat sequential (%.2f GB/s) at %v", f, s, x)
+		}
+	}
+	f4, _ := size.Get("fused", 4096)
+	s4, _ := size.Get("sequential", 4096)
+	if r := f4 / s4; r < 1.2 {
+		t.Errorf("fused/sequential DIF chain at 4K = %.3fx, want >= 1.2x", r)
+	}
+}

@@ -1,0 +1,54 @@
+package isal
+
+import "fmt"
+
+// Byte-RLE compression, the functional stand-in for the ISA-L igzip
+// inflate/deflate pair the paper's streaming pipelines use. DSA has no
+// (de)compression opcode — compression is the canonical *software* stage of
+// a heterogeneous pipeline (decompress on the core, then CRC and move on
+// the accelerator) — so only a simple, deterministic format is needed: the
+// image is a sequence of (count, value) byte pairs, count in [1, 255].
+
+// Compress writes the RLE image of src into dst and returns the compressed
+// length. It fails when dst is too small (worst case 2×len(src)).
+func Compress(dst, src []byte) (int, error) {
+	w := 0
+	for i := 0; i < len(src); {
+		run := 1
+		for i+run < len(src) && run < 255 && src[i+run] == src[i] {
+			run++
+		}
+		if w+2 > len(dst) {
+			return 0, fmt.Errorf("isal: compress overflow: need more than %d bytes", len(dst))
+		}
+		dst[w] = byte(run)
+		dst[w+1] = src[i]
+		w += 2
+		i += run
+	}
+	return w, nil
+}
+
+// Decompress expands the n-byte RLE image at src into dst and returns the
+// produced length. It fails on a truncated image (odd length or zero run)
+// or when dst cannot hold the expansion.
+func Decompress(dst, src []byte) (int, error) {
+	w := 0
+	for i := 0; i < len(src); i += 2 {
+		if i+1 >= len(src) {
+			return 0, fmt.Errorf("isal: truncated compressed image at byte %d", i)
+		}
+		run := int(src[i])
+		if run == 0 {
+			return 0, fmt.Errorf("isal: zero-length run at byte %d", i)
+		}
+		if w+run > len(dst) {
+			return 0, fmt.Errorf("isal: decompress overflow: output exceeds %d bytes", len(dst))
+		}
+		for j := 0; j < run; j++ {
+			dst[w+j] = src[i+1]
+		}
+		w += run
+	}
+	return w, nil
+}

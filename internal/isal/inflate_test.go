@@ -1,0 +1,55 @@
+package isal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		[]byte("aaaaabbbcc"),
+		bytes.Repeat([]byte{0x7f}, 1000),
+		{1, 2, 3, 4, 5},
+		{},
+	}
+	for _, src := range cases {
+		comp := make([]byte, 2*len(src)+2)
+		cn, err := Compress(comp, src)
+		if err != nil {
+			t.Fatalf("Compress(%d bytes): %v", len(src), err)
+		}
+		out := make([]byte, len(src))
+		dn, err := Decompress(out, comp[:cn])
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if dn != len(src) || !bytes.Equal(out[:dn], src) {
+			t.Fatalf("round trip mismatch: got %d bytes %q, want %q", dn, out[:dn], src)
+		}
+	}
+}
+
+func TestCompressRatio(t *testing.T) {
+	// A long run compresses ~128x; compressible inputs must shrink.
+	src := bytes.Repeat([]byte{0xaa}, 4096)
+	comp := make([]byte, 2*len(src))
+	cn, err := Compress(comp, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn >= len(src)/64 {
+		t.Fatalf("4KB run compressed to %d bytes, want < %d", cn, len(src)/64)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress(make([]byte, 16), []byte{5}); err == nil {
+		t.Error("truncated image: want error")
+	}
+	if _, err := Decompress(make([]byte, 16), []byte{0, 1}); err == nil {
+		t.Error("zero run: want error")
+	}
+	if _, err := Decompress(make([]byte, 2), []byte{5, 1}); err == nil {
+		t.Error("overflow: want error")
+	}
+}

@@ -106,7 +106,7 @@ func (b *Batch) Submit(p *sim.Proc) (*Future, error) {
 		if err := b.t.admit(p); err != nil {
 			return nil, err
 		}
-		groups := b.t.splitByHome(descs)
+		groups := b.t.splitByHome(descs, b.flags)
 		if groups == nil {
 			return b.t.submitSlice(p, descs, b.flags)
 		}
@@ -158,12 +158,31 @@ func (t *Tenant) submitSlice(p *sim.Proc, descs []dsa.Descriptor, flags dsa.Flag
 // routes coincide merge into one sub-batch. It returns nil — submit as
 // one batch — when splitting is disabled (Policy.SplitBatches), the active
 // scheduler is not data-aware (a blind policy would route every sub-batch
-// to the same device, making the split pure parent overhead), the batch
-// carries a Fence (fences order descriptors across the whole batch, which
-// independent devices cannot honor), or every descriptor shares a target.
-func (t *Tenant) splitByHome(descs []dsa.Descriptor) [][]int {
+// to the same device, making the split pure parent overhead), the flush
+// carries a Fence anywhere (fences order descriptors across the whole
+// batch, which independent devices cannot honor), or every descriptor
+// shares a target.
+//
+// flags are the batch-level flags the parent will be submitted with: a
+// fence arriving via Batch.WithFlags (or the tenant policy) makes the chain
+// exactly as unsplittable as a per-descriptor fence. The fence scan is a
+// pure pre-pass, before any load-aware routing: routeSocket folds a sample
+// into the placement cost EWMA and moves the hysteresis incumbent, so
+// discovering a mid-chain fence only after routing earlier descriptors
+// would leave phantom route state behind for a flush that is then never
+// split — under a saturated socket those phantom samples can flip the
+// detour decision for unrelated traffic.
+func (t *Tenant) splitByHome(descs []dsa.Descriptor, flags dsa.Flags) [][]int {
 	if !t.policy.SplitBatches || !t.S.dataAware {
 		return nil
+	}
+	if (flags|t.policy.Flags)&dsa.FlagFence != 0 {
+		return nil
+	}
+	for i := range descs {
+		if descs[i].Flags&dsa.FlagFence != 0 || descs[i].Op == dsa.OpNop {
+			return nil
+		}
 	}
 	var lr loadRouter
 	if t.policy.LoadAware {
@@ -178,9 +197,6 @@ func (t *Tenant) splitByHome(descs []dsa.Descriptor) [][]int {
 	var routed map[int]int
 	for i := range descs {
 		d := &descs[i]
-		if d.Flags&dsa.FlagFence != 0 || d.Op == dsa.OpNop {
-			return nil
-		}
 		home := t.dataHome(d)
 		if lr != nil {
 			if routed == nil {
@@ -286,7 +302,7 @@ func (ab *AutoBatcher) Flush(p *sim.Proc) error {
 		}
 		return err
 	}
-	groups := ab.t.splitByHome(descs)
+	groups := ab.t.splitByHome(descs, 0)
 	if groups == nil {
 		return ab.flushSlice(p, descs, futs)
 	}

@@ -54,6 +54,12 @@ type Future struct {
 	// record each one resolves from.
 	sharedWait *batchWait
 
+	// run, when non-nil, marks a pipeline future: the result is produced by
+	// the pipeline driver process (pipeline.go), which walks the DAG's
+	// chains on the sim timeline and broadcasts run.sig when the final
+	// chain completes. Done and Wait read the run instead of a completion.
+	run *pipeRun
+
 	// parts joins the per-socket sub-batches of one split batch
 	// submission (batch.go): the Future is done when every part is, and
 	// Wait drains the parts in turn, paying the wait cost once per
@@ -73,6 +79,9 @@ func (f *Future) Done() bool {
 	if f.done {
 		return true
 	}
+	if f.run != nil {
+		return f.run.done
+	}
 	if f.parts != nil {
 		for _, part := range f.parts {
 			if !part.Done() {
@@ -90,6 +99,16 @@ func (f *Future) Done() bool {
 // so a dependent caller can never deadlock on an unflushed batch.
 func (f *Future) Wait(p *sim.Proc, mode WaitMode) (Result, error) {
 	if f.done {
+		return f.res, f.err
+	}
+	if f.run != nil {
+		// The driver process pays the per-chain wait costs; the caller just
+		// parks until the run resolves (event-driven, allocation-free).
+		for !f.run.done {
+			p.Wait(&f.run.sig)
+		}
+		f.done, f.res, f.err = true, f.run.res, f.run.err
+		f.res.Duration = p.Now() - f.start
 		return f.res, f.err
 	}
 	if f.parts != nil {
@@ -170,6 +189,21 @@ func joinFutures(parts []*Future) *Future {
 type batchWait struct {
 	paid        bool // wait cost charged by the first waiter
 	failCounted bool // batch failure counted once toward Stats.Failures
+}
+
+// pipeRun is the driver-side state of one in-flight pipeline submission.
+type pipeRun struct {
+	done bool
+	res  Result
+	err  error
+	sig  sim.Signal
+}
+
+// finish resolves the run and wakes every waiter.
+func (r *pipeRun) finish(e *sim.Engine, res Result, err error) {
+	r.res, r.err = res, err
+	r.done = true
+	r.sig.Broadcast(e)
 }
 
 // resolve decodes the completion record into the memoized result.

@@ -1,6 +1,7 @@
 package offload_test
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -125,7 +126,7 @@ func TestDoubleWaitIdempotentUnderCoalescing(t *testing.T) {
 			if err != nil {
 				t.Error(err)
 			}
-			if res != first[i] {
+			if !reflect.DeepEqual(res, first[i]) {
 				t.Errorf("future %d: second Wait = %+v, want %+v", i, res, first[i])
 			}
 		}

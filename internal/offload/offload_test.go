@@ -3,6 +3,7 @@ package offload_test
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -110,7 +111,7 @@ func TestCopyRoundTripAndFutureIdempotence(t *testing.T) {
 		if err != nil {
 			t.Error(err)
 		}
-		if res2 != res1 {
+		if !reflect.DeepEqual(res2, res1) {
 			t.Errorf("second Wait returned %+v, want %+v", res2, res1)
 		}
 		if p.Now() != before {

@@ -280,6 +280,53 @@ func legPenalty(n *mem.Node, size int64, devSocket int, topo *Topology, write bo
 	return pen
 }
 
+// PipelineLeg is one externally-placed data leg of a fused pipeline: a
+// stage operand whose buffer already exists (the original input, the final
+// output), as opposed to the scratch intermediates the pipeline allocates
+// on whichever socket wins. Size is the bytes the stage moves over it.
+type PipelineLeg struct {
+	Node  *mem.Node
+	Size  int64
+	Write bool
+}
+
+// PipelineSocket scores candidate sockets for a whole fused chain and
+// returns the cheapest. This inverts the per-descriptor placement rule: a
+// pipeline's stages mostly read and write *intermediate* buffers that do
+// not exist yet — they will be allocated on the chosen socket — so only the
+// fixed legs (original inputs, final outputs) can pull the chain anywhere.
+// Candidate c costs its pool's queueing delay (Topology.QueueDelay, the
+// same live backlog signal the load-aware detour reads) plus the UPI
+// penalty of every fixed leg homed off c; intermediates cost nothing by
+// construction, since AllocScratch places them on the winner. fallback
+// (the tenant's socket) is returned when the topology offers no candidates
+// and wins cost ties, keeping an unloaded single-socket system stable.
+func PipelineSocket(topo *Topology, legs []PipelineLeg, fallback int) int {
+	if topo == nil {
+		return fallback
+	}
+	best, bestCost := -1, sim.Time(0)
+	for c := 0; c < topo.Sockets(); c++ {
+		if !topo.HasLocal(c) {
+			continue
+		}
+		cost := topo.QueueDelay(c)
+		for _, l := range legs {
+			cost += legPenalty(l.Node, l.Size, c, topo, l.Write)
+		}
+		switch {
+		case best < 0 || cost < bestCost:
+			best, bestCost = c, cost
+		case cost == bestCost && c == fallback && best != fallback:
+			best = c
+		}
+	}
+	if best < 0 {
+		return fallback
+	}
+	return best
+}
+
 // dataSocket resolves the socket a (src, dst) data-home pair places a
 // descriptor on:
 //

@@ -166,6 +166,10 @@ type Stats struct {
 	Shed     int64 // logical flushes rejected by admission control
 	Delayed  int64 // logical flushes delayed by admission control
 
+	// Pipelines counts pipeline DAG submissions (pipeline.go) — each one
+	// cost a single admission token regardless of stage count.
+	Pipelines int64
+
 	// AdmitWakeups counts the process wakeups admission-control delays
 	// cost. With coalescing on, delayed retries fold into the moderation
 	// window, so this stays well below one wakeup per delayed sub-batch.
@@ -191,6 +195,7 @@ type statCounters struct {
 	splits           atomic.Int64
 	failures         atomic.Int64
 	shed, delayed    atomic.Int64
+	pipelines        atomic.Int64
 	admitWakeups     atomic.Int64
 }
 
@@ -207,6 +212,7 @@ func (c *statCounters) snapshot() Stats {
 		Failures:     c.failures.Load(),
 		Shed:         c.shed.Load(),
 		Delayed:      c.delayed.Load(),
+		Pipelines:    c.pipelines.Load(),
 		AdmitWakeups: c.admitWakeups.Load(),
 	}
 }

@@ -1,0 +1,66 @@
+package offload
+
+import (
+	"dsasim/internal/mem"
+)
+
+// scratchKey identifies one reuse class of the tenant's scratch pool: the
+// node the buffer lives on and its exact size. Pipeline intermediates are a
+// handful of (socket, size) shapes repeated every flush, so exact-size
+// pooling reuses without fragmentation bookkeeping.
+type scratchKey struct {
+	node *mem.Node
+	size int64
+}
+
+// AllocScratch returns a size-byte scratch buffer on the given socket's
+// DRAM node, reusing a previously released buffer of the same shape when
+// one is pooled. Pipeline submissions allocate their intermediate-stage
+// buffers through this, so a steady-state pipeline (alloc at Submit,
+// FreeScratch at completion) performs zero heap allocations per flush —
+// asserted by TestScratchPoolZeroAllocs.
+func (t *Tenant) AllocScratch(size int64, socket int) *mem.Buffer {
+	node := t.scratchNode(socket)
+	k := scratchKey{node: node, size: size}
+	if pool := t.scratch[k]; len(pool) > 0 {
+		b := pool[len(pool)-1]
+		t.scratch[k] = pool[:len(pool)-1]
+		return b
+	}
+	if t.scratch == nil {
+		t.scratch = make(map[scratchKey][]*mem.Buffer)
+	}
+	return t.AS.Alloc(size, mem.OnNode(node))
+}
+
+// FreeScratch returns a buffer obtained from AllocScratch to the pool. The
+// buffer's contents are not cleared — scratch is transient by contract.
+func (t *Tenant) FreeScratch(b *mem.Buffer) {
+	if b == nil {
+		return
+	}
+	if t.scratch == nil {
+		t.scratch = make(map[scratchKey][]*mem.Buffer)
+	}
+	k := scratchKey{node: b.Node, size: b.Size}
+	t.scratch[k] = append(t.scratch[k], b)
+}
+
+// scratchNode resolves the DRAM node scratch lands on for a socket,
+// preferring DRAM over expander media (an intermediate buffer is written
+// and immediately re-read by the next stage — the last data that belongs on
+// a CXL pipe) and falling back to the tenant's local node when the socket
+// has none.
+func (t *Tenant) scratchNode(socket int) *mem.Node {
+	if socket >= 0 && socket < len(t.S.Sys.Sockets) {
+		for _, n := range t.S.Sys.SocketOf(socket).Nodes {
+			if n.Kind == mem.DRAM {
+				return n
+			}
+		}
+		if nodes := t.S.Sys.SocketOf(socket).Nodes; len(nodes) > 0 {
+			return nodes[0]
+		}
+	}
+	return t.localNode()
+}

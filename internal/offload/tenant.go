@@ -36,6 +36,10 @@ type Tenant struct {
 	// (one per tenant; see NewPlane).
 	plane *Plane
 
+	// scratch pools released intermediate buffers by (node, size) so
+	// pipeline flushes reuse instead of allocating (see scratch.go).
+	scratch map[scratchKey][]*mem.Buffer
+
 	// coal is the tenant's completion coalescer — one moderation vector
 	// shared by every per-WQ client, so completions coalesce across WQs
 	// and devices (a split batch's sub-batch interrupts merge into one
@@ -288,7 +292,30 @@ func (t *Tenant) submit(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future
 func (t *Tenant) submitAdmitted(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future, error) {
 	d.PASID = t.AS.PASID
 	d.Flags |= t.policy.Flags | flags
-	wq := t.S.sched.Pick(t.request(&d), t.S.wqs)
+	return t.dispatch(p, d, t.request(&d))
+}
+
+// submitPinned is submitAdmitted with placement already decided: the
+// descriptor goes to a WQ on the given socket regardless of where its data
+// lives. The pipeline driver uses it to keep every chain of one fused DAG on
+// the socket its intermediate scratch buffers were placed on — re-resolving
+// per-descriptor data homes would scatter a chain whose stages deliberately
+// share one device.
+func (t *Tenant) submitPinned(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags, socket int) (*Future, error) {
+	d.PASID = t.AS.PASID
+	d.Flags |= t.policy.Flags | flags
+	return t.dispatch(p, d, Request{
+		Socket: socket,
+		Class:  t.class,
+		Size:   d.Size,
+		Topo:   t.S.topo,
+	})
+}
+
+// dispatch runs the shared submission tail: scheduler pick, client resolve,
+// prepare, portal submit, stats.
+func (t *Tenant) dispatch(p *sim.Proc, d dsa.Descriptor, req Request) (*Future, error) {
+	wq := t.S.sched.Pick(req, t.S.wqs)
 	if wq == nil {
 		return nil, fmt.Errorf("offload: scheduler %q returned no work queue", t.S.sched.Name())
 	}

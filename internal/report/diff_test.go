@@ -1,6 +1,9 @@
 package report
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -111,6 +114,83 @@ func TestCompareGatesMissingDataFails(t *testing.T) {
 				t.Fatalf("gate with %s passed: %+v", tc.name, res)
 			}
 		})
+	}
+}
+
+// TestPipelineGatesCatchInjectedRegression runs the committed gates file
+// against the committed BENCH_pipeline.json baseline — once unmodified
+// (every pipeline gate must pass against itself) and once with an injected
+// regression that collapses the fused series to the sequential one, which
+// every pipeline gate must catch. This pins the CI wiring end-to-end: the
+// gate entries name real tables, rows, and series, and the min_ratio
+// floors actually bite.
+func TestPipelineGatesCatchInjectedRegression(t *testing.T) {
+	gateData, err := os.ReadFile(filepath.Join("..", "..", "bench", "baseline", "gates.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ParseGates(gateData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gates []Gate
+	for _, g := range all {
+		if g.Experiment == "pipeline" {
+			gates = append(gates, g)
+		}
+	}
+	if len(gates) < 2 {
+		t.Fatalf("gates.json asserts %d pipeline gates, want >= 2", len(gates))
+	}
+	for _, g := range gates {
+		if g.MinRatio <= 1 {
+			t.Errorf("pipeline gate %v has no absolute floor above 1x (min_ratio=%v)", g, g.MinRatio)
+		}
+	}
+
+	benchData, err := os.ReadFile(filepath.Join("..", "..", "bench", "baseline", "BENCH_pipeline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base BenchDoc
+	if err := json.Unmarshal(benchData, &base); err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]BenchDoc{"pipeline": base}
+	for _, r := range CompareGates(gates, docs, docs, 0.15) {
+		if r.Failed {
+			t.Errorf("committed baseline fails its own gate %v: %s", r.Gate, r.Reason)
+		}
+	}
+
+	// Inject the regression fusion exists to prevent: the fused series
+	// falls back to sequential throughput (the chain decomposed into
+	// per-stage submissions). Every gate must fail.
+	broken := base
+	broken.Tables = make([]BenchTable, len(base.Tables))
+	copy(broken.Tables, base.Tables)
+	for i := range broken.Tables {
+		tbl := &broken.Tables[i]
+		seq := make(map[string]float64)
+		for _, p := range tbl.Points {
+			if p.Series == "sequential" {
+				seq[p.Label] = p.Y
+			}
+		}
+		pts := make([]BenchPoint, len(tbl.Points))
+		copy(pts, tbl.Points)
+		for j := range pts {
+			if pts[j].Series == "fused" {
+				pts[j].Y = seq[pts[j].Label]
+			}
+		}
+		tbl.Points = pts
+	}
+	res := CompareGates(gates, docs, map[string]BenchDoc{"pipeline": broken}, 0.15)
+	for _, r := range res {
+		if !r.Failed {
+			t.Errorf("defused pipeline (1.0x) passed gate %v (current %.2fx)", r.Gate, r.Current)
+		}
 	}
 }
 

@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"dsasim/internal/cpu"
+	"dsasim/internal/dif"
 	"dsasim/internal/dsa"
 	"dsasim/internal/isal"
 	"dsasim/internal/mem"
+	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 )
 
@@ -30,6 +32,13 @@ const (
 	ISAL
 	// DSA offloads CRC32 generation through the accel framework.
 	DSA
+	// DSAPipeline serves end-to-end protected reads through one fused
+	// offload pipeline per I/O: the on-disk image carries T10 DIF
+	// protection, and a two-stage DAG (DIF verify-and-strip → CRC32 Data
+	// Digest over the stripped payload) compiles into a single fenced
+	// batch — one submission and one completion window where the accel-fw
+	// path would pay two full round trips.
+	DSAPipeline
 )
 
 // String returns the Fig 21 legend name.
@@ -39,6 +48,8 @@ func (m DigestMode) String() string {
 		return "ISA-L"
 	case DSA:
 		return "DSA"
+	case DSAPipeline:
+		return "DSA pipeline"
 	default:
 		return "No Digest"
 	}
@@ -51,6 +62,11 @@ type Config struct {
 	Mode        DigestMode
 	IOs         int // total I/Os to serve
 	WQs         []*dsa.WQ
+
+	// Svc provides tenants for DSAPipeline mode (one per target core);
+	// the fused DIF-strip→CRC chains are submitted through it instead of
+	// raw WQ clients.
+	Svc *offload.Service
 
 	// NICGBps is the target's network bandwidth (200 GbE ≈ 25 GB/s).
 	NICGBps float64
@@ -116,6 +132,14 @@ func Run(e *sim.Engine, sys *mem.System, node *mem.Node, model cpu.Model, cfg Co
 	if cfg.Mode == DSA && len(cfg.WQs) == 0 {
 		return Result{}, fmt.Errorf("spdknvme: DSA mode needs work queues")
 	}
+	if cfg.Mode == DSAPipeline {
+		if cfg.Svc == nil {
+			return Result{}, fmt.Errorf("spdknvme: pipeline mode needs an offload service")
+		}
+		if cfg.IOSize%int64(dif.Block512) != 0 {
+			return Result{}, fmt.Errorf("spdknvme: pipeline mode needs 512B-aligned I/O size")
+		}
+	}
 
 	nic := sim.NewPipe(e, cfg.NICGBps)
 	ssds := make([]*sim.Pipe, cfg.SSDs)
@@ -142,6 +166,12 @@ func Run(e *sim.Engine, sys *mem.System, node *mem.Node, model cpu.Model, cfg Co
 		n := perCore
 		if c < rem {
 			n++
+		}
+		if cfg.Mode == DSAPipeline {
+			if err := runPipelineCore(e, node, cfg, c, n, nic, ssds, &res, &done, &totalLat, &served, &runErr); err != nil {
+				return Result{}, err
+			}
+			continue
 		}
 		core := cpu.NewCore(c, 0, sys, as, model)
 		// Rotating payload slots: a slot is not rewritten until its CRC
@@ -264,4 +294,110 @@ func Run(e *sim.Engine, sys *mem.System, node *mem.Node, model cpu.Model, cfg Co
 		res.AvgLat = totalLat / sim.Time(served)
 	}
 	return res, nil
+}
+
+// runPipelineCore launches one DSAPipeline-mode target core: each window
+// slot owns a T10-DIF-protected on-disk image and a two-stage fused
+// pipeline (DIF verify-and-strip → CRC32 over the stripped payload). An
+// I/O re-submits its slot's pipeline — one batch, one completion — and the
+// initiator-side verification compares the CRC stage result against the
+// digest of the slot's raw contents.
+func runPipelineCore(e *sim.Engine, node *mem.Node, cfg Config, c, n int,
+	nic *sim.Pipe, ssds []*sim.Pipe,
+	res *Result, done, totalLat *sim.Time, served *int64, runErr *error) error {
+	tn, err := cfg.Svc.NewTenant(offload.OnSocket(node.Socket))
+	if err != nil {
+		return err
+	}
+	const slots = 16
+	blocks := cfg.IOSize / int64(dif.Block512)
+	protSize := blocks * dif.Block512.Protected()
+	type pipeSlot struct {
+		pl   *offload.Pipeline
+		crc  *offload.Stage
+		want uint32
+	}
+	rng := sim.NewRand(cfg.Seed + uint64(c)*31 + 1)
+	raw := make([]byte, cfg.IOSize)
+	ps := make([]pipeSlot, slots)
+	for s := range ps {
+		rng.Bytes(raw)
+		prot := tn.Alloc(protSize, mem.OnNode(node))
+		tags := dif.Tags{AppTag: 0x5D, RefTag: uint32(s), IncrementRef: true}
+		if err := dif.Insert(prot.Bytes(), raw, dif.Block512, tags); err != nil {
+			return err
+		}
+		pl := tn.NewPipeline()
+		stripped := pl.Scratch(cfg.IOSize)
+		st := pl.DIFStrip(stripped, offload.At(prot.Addr(0)), protSize, dif.Block512, tags)
+		ps[s] = pipeSlot{
+			pl:   pl,
+			crc:  pl.CRC32(stripped, cfg.IOSize, 0, offload.After(st)),
+			want: isal.CRC32(0, raw),
+		}
+	}
+	e.Go(fmt.Sprintf("target-core%d", c), func(p *sim.Proc) {
+		type inflight struct {
+			fut  *offload.Future
+			slot int
+			mark sim.Time
+		}
+		var window []inflight
+		reapOne := func() bool {
+			io := window[0]
+			window = window[1:]
+			if _, err := io.fut.Wait(p, offload.Poll); err != nil {
+				*runErr = err
+				return false
+			}
+			sl := &ps[io.slot]
+			if uint32(sl.crc.Result()) == sl.want {
+				res.Verified++
+			} else {
+				res.Mismatched++
+			}
+			now := p.Now()
+			if now > *done {
+				*done = now
+			}
+			*totalLat += now - io.mark
+			*served++
+			return true
+		}
+		for i := 0; i < n; i++ {
+			start := p.Now()
+			if len(window) >= slots {
+				if !reapOne() { // frees the slot this I/O reuses
+					return
+				}
+			}
+			ssdDone := ssds[(c+i)%len(ssds)].Reserve(protSize) + cfg.SSDLat
+			busy := cfg.PerIOFixed + sim.GBps(cfg.IOSize, cfg.PerByteGBps) + cfg.AccelSubmit
+			p.Sleep(busy)
+			tn.Core.ChargeBusy(busy)
+			nicDone := nic.Reserve(cfg.IOSize)
+			end := p.Now()
+			if ssdDone > end {
+				end = ssdDone
+			}
+			if nicDone > end {
+				end = nicDone
+			}
+			if end > *done {
+				*done = end
+			}
+			fut, err := ps[i%slots].pl.Submit(p)
+			if err != nil {
+				*runErr = err
+				return
+			}
+			window = append(window, inflight{fut: fut, slot: i % slots, mark: start})
+		}
+		for len(window) > 0 {
+			if !reapOne() {
+				return
+			}
+		}
+	})
+	return nil
 }
