@@ -17,6 +17,12 @@
 // Baselines are refreshed by regenerating them on main and committing:
 //
 //	go run ./cmd/dsa-bench -run placement,sched,qos,skew -json bench/baseline
+//
+// Exit codes: 0 all gates pass; 1 a measured speedup regressed; 2 usage
+// error; 3 a gate references an experiment/table/series missing from the
+// BENCH documents (a wiring break, reported distinctly from a
+// regression). When $GITHUB_STEP_SUMMARY is set, the per-gate verdict
+// table is appended there as markdown on pass and fail alike.
 package main
 
 import (
@@ -63,11 +69,15 @@ func main() {
 	}
 
 	results := report.CompareGates(gates, baseline, current, *threshold)
-	failed := 0
+	failed, missing := 0, 0
 	fmt.Printf("%-52s %9s %9s %7s  %s\n", "gate", "baseline", "current", "delta", "verdict")
 	for _, r := range results {
 		verdict := "ok"
-		if r.Failed {
+		switch {
+		case r.Missing:
+			missing++
+			verdict = "MISSING: " + r.Reason
+		case r.Failed:
 			failed++
 			verdict = "FAIL: " + r.Reason
 		}
@@ -76,6 +86,28 @@ func main() {
 			delta = fmt.Sprintf("%+.1f%%", (r.Current/r.Baseline-1)*100)
 		}
 		fmt.Printf("%-52s %8.2fx %8.2fx %7s  %s\n", r.Gate.String(), r.Baseline, r.Current, delta, verdict)
+	}
+
+	// The verdict table lands in the CI step summary on pass and fail
+	// alike, so the measured ratios are always one click away.
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-diff: step summary:", err)
+		} else {
+			fmt.Fprintln(f, report.MarkdownGates(results, *threshold))
+			f.Close()
+		}
+	}
+
+	// Unevaluable gates are a distinct failure: the gate references an
+	// experiment, table, or series that is not in the candidate (or
+	// baseline) documents — a renamed series or a dropped experiment is
+	// a wiring break, not a measured regression, and must not read as one.
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "bench-diff: %d of %d gates reference data missing from the BENCH documents (wiring break, not a regression)\n",
+			missing, len(results))
+		os.Exit(3)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "bench-diff: %d of %d asserted speedups regressed more than %.0f%%\n",

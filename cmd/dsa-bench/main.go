@@ -29,7 +29,12 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
 	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<id>.json files")
 	submitters := flag.Int("submitters", 0, "narrow the contention experiment's sweep to {1, N} submitters (0: full sweep)")
+	fleetScale := flag.Float64("fleetscale", 0, "scale the fleet scenarios' durations/connections by this factor (0: full scale)")
 	flag.Parse()
+
+	if *fleetScale > 0 {
+		exp.FleetScale = *fleetScale
+	}
 
 	if *submitters > 0 {
 		// A quick local scaling check: one anchor point plus the requested

@@ -10,6 +10,7 @@ import (
 
 	"dsasim"
 	"dsasim/internal/dsa"
+	"dsasim/internal/fleet"
 	"dsasim/internal/offload"
 	"dsasim/internal/sim"
 	"dsasim/internal/vhost"
@@ -76,4 +77,17 @@ func main() {
 		fmt.Printf("%-10d %10.2f %10.2f %8.2fx\n", size, cpu, dsaR, dsaR/cpu)
 	}
 	fmt.Println("\nall packets delivered intact and in order (reorder array, §6.4)")
+
+	// The same switch as a fleet: the packetswitch-fleet scenario drives
+	// thousands of connections of open-loop phased traffic through the
+	// sharded submission plane while latency-sensitive tenants share the
+	// devices — the capacity-planning view of the per-burst loop above.
+	fmt.Println("\nfleet view: packetswitch-fleet steady vs overload (internal/fleet, 0.2x scale)")
+	r := fleet.Run(fleet.Packetswitch().Scaled(0.2))
+	fmt.Printf("%-10s %14s %14s %12s %12s\n", "phase", "fg good kops/s", "bg good kops/s", "fg p99", "bg p99")
+	for _, ph := range r.Phases {
+		fmt.Printf("%-10s %14.0f %14.0f %12v %12v\n",
+			ph.Name, ph.Goodput[fleet.FG], ph.Goodput[fleet.BG], ph.P99[fleet.FG], ph.P99[fleet.BG])
+	}
+	fmt.Println("full ramp + SLO-attained throughput: go run ./cmd/dsa-bench -run fleet")
 }

@@ -31,7 +31,7 @@ type SubmitRing struct {
 
 // RingEntry is one queued submission: the descriptor by value and an opaque
 // tag the producer round-trips to the completion path (the submission
-// plane stamps the lane/ring index so completions can be attributed
+// plane stamps the submit instant so completion latency can be attributed
 // without a per-operation closure).
 type RingEntry struct {
 	D   Descriptor
@@ -129,3 +129,8 @@ func (w *WQ) AttachRing(capacity int) *SubmitRing {
 
 // Ring returns the WQ's attached submission ring, or nil.
 func (w *WQ) Ring() *SubmitRing { return w.ring }
+
+// DetachRing removes the WQ's submission ring so a later plane may attach
+// its own (tenant churn retires planes with their tenants). The caller
+// owns the single-consumer side and must have drained the ring first.
+func (w *WQ) DetachRing() { w.ring = nil }

@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"adaptive", "Streaming telemetry: one closed-loop policy vs per-regime hand tuning", Adaptive},
 		{"contention", "Sharded submission plane: Submit/Wait scaling vs submitters", Contention},
 		{"pipeline", "Operation pipelines: fused multi-op DAGs vs per-stage submission (§4/§6)", Pipeline},
+		{"fleet", "Fleet-scale service scenarios: SLO-attained throughput under phased open-loop load", Fleet},
 	}
 }
 

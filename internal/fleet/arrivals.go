@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"math"
+
+	"dsasim/internal/sim"
+)
+
+// arrivals generates one shard's open-loop arrival instants: exponential
+// inter-arrival gaps whose instantaneous rate follows the active phase's
+// kind — homogeneous Poisson (Steady/Overload), a sinusoidally modulated
+// rate (Diurnal), or a two-state MMPP (Burst). The generator owns its
+// seeded sim.Rand; together with the Zipf sampler this is the entire
+// randomness surface of a run, so a fixed scenario seed reproduces every
+// arrival bit-for-bit.
+type arrivals struct {
+	rng *sim.Rand
+
+	// MMPP state for Burst phases: burst=true is the high-rate state.
+	burst     bool
+	dwellLeft sim.Time
+}
+
+// MMPP shape: the slow state idles at 60% of the phase rate, the burst
+// state fires at 3×, and dwell times are exponential with these means —
+// a flash crowd every few hundred microseconds of virtual time.
+const (
+	mmppSlowMult  = 0.6
+	mmppBurstMult = 3.0
+	mmppSlowDwell = 150 * 1000 // ns
+	mmppFastDwell = 40 * 1000  // ns
+)
+
+func newArrivals(seed uint64) *arrivals {
+	return &arrivals{rng: sim.NewRand(seed)}
+}
+
+// exp draws an exponential variate with the given mean (ns).
+func (a *arrivals) exp(mean float64) sim.Time {
+	// 1-Float64 ∈ (0,1]: log never sees zero.
+	return sim.Time(-mean * math.Log(1-a.rng.Float64()))
+}
+
+// next returns the gap to the following arrival, given the active phase,
+// the shard's base rate at multiplier 1.0 (ops/s), and the offset of the
+// current instant into the phase (for diurnal modulation).
+func (a *arrivals) next(ph Phase, shardRate float64, into, dur sim.Time) sim.Time {
+	rate := shardRate * ph.Mult
+	switch ph.Kind {
+	case Diurnal:
+		// Trough→peak→trough across the phase: ±40% around Mult.
+		frac := 0.0
+		if dur > 0 {
+			frac = float64(into) / float64(dur)
+		}
+		rate *= 1 + 0.4*math.Sin(2*math.Pi*frac-math.Pi/2)
+	case Burst:
+		for a.dwellLeft <= 0 {
+			a.burst = !a.burst
+			mean := float64(mmppSlowDwell)
+			if a.burst {
+				mean = mmppFastDwell
+			}
+			a.dwellLeft += a.exp(mean)
+		}
+		if a.burst {
+			rate *= mmppBurstMult
+		} else {
+			rate *= mmppSlowMult
+		}
+	}
+	if rate <= 0 {
+		return sim.Time(math.MaxInt64 / 4)
+	}
+	gap := a.exp(1e9 / rate)
+	if gap < 1 {
+		gap = 1
+	}
+	if ph.Kind == Burst {
+		a.dwellLeft -= gap
+	}
+	return gap
+}

@@ -1,0 +1,377 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"dsasim/internal/dsa"
+	"dsasim/internal/mem"
+	"dsasim/internal/offload"
+	"dsasim/internal/sim"
+)
+
+// bufSlots is how many payload slots each shard buffer rotates through,
+// so consecutive operations touch distinct addresses within one
+// allocation instead of one hot line.
+const bufSlots = 4
+
+// crossMod/crossCut: connections with conn%crossMod < crossCut deliver
+// to the remote socket (~30% cross-socket traffic), which is what makes
+// the placement scheduler's socket decisions matter.
+const (
+	crossMod = 10
+	crossCut = 3
+)
+
+// reapItem is one outstanding submission a shard's reaper must resolve:
+// the future, the scheduled arrival instant of every operation it
+// carries (one for a foreground op, Burst for a broker pipeline), and
+// the class the latencies score against.
+type reapItem struct {
+	fut  *offload.Future
+	arrs []sim.Time
+	cls  Class
+}
+
+// pendingMsg is a broker message waiting for its burst to fill.
+type pendingMsg struct {
+	arr  sim.Time
+	conn int
+}
+
+// shardBufs is one shard's payload slabs in the frontend's address
+// space, one src/dst pair per socket.
+type shardBufs struct {
+	src [2]*mem.Buffer
+	dst [2]*mem.Buffer
+}
+
+// driver is one scenario run: the rig, the tenant population, and the
+// per-(phase, class) accumulators. The engine is single-threaded, so the
+// shared slices need no locking — determinism falls out of the seeded
+// generators plus the engine's deterministic event order.
+type driver struct {
+	sc  Scenario
+	e   *sim.Engine
+	svc *offload.Service
+
+	front *offload.Tenant
+	plane *offload.Plane
+	fg    []*fgTenant
+	pop   *zipf
+	conns []int // connection -> foreground tenant slot
+
+	bufs []shardBufs
+
+	bounds []sim.Time // cumulative phase end instants
+	acc    [][nClasses]classAcc
+
+	reapQ   [][]reapItem
+	reapSig []sim.Signal
+	subDone []bool
+
+	// retired holds churned-out tenants so their SLO counters are
+	// harvested at the end, after late futures resolve.
+	retired []*offload.Tenant
+}
+
+// Run executes one scenario and returns its measurement. A fixed
+// Scenario (seed included) reproduces the Result bit-for-bit.
+func Run(sc Scenario) Result {
+	d := newDriver(sc)
+	for s := 0; s < sc.Shards; s++ {
+		s := s
+		d.e.Go(fmt.Sprintf("fleet-sub-%d", s), d.submitter(s))
+		d.e.Go(fmt.Sprintf("fleet-reap-%d", s), d.reaper(s))
+	}
+	d.e.Run()
+	return d.result()
+}
+
+func newDriver(sc Scenario) *driver {
+	e, svc := fleetRig()
+	d := &driver{sc: sc, e: e, svc: svc}
+
+	front, err := svc.NewTenant(offload.OnSocket(0),
+		offload.WithClass(offload.Bulk), offload.TenantPolicy(frontPolicy(sc)))
+	if err != nil {
+		panic(err)
+	}
+	d.front = front
+	if !sc.Pipeline {
+		pl, err := front.NewPlane(sc.Shards)
+		if err != nil {
+			panic(err)
+		}
+		pl.OnCompletion(d.bgCompleted)
+		d.plane = pl
+	}
+
+	d.bufs = make([]shardBufs, sc.Shards)
+	for s := range d.bufs {
+		for sock := 0; sock < 2; sock++ {
+			d.bufs[s].src[sock] = front.AllocOn(sock, sc.BgSize*bufSlots)
+			d.bufs[s].dst[sock] = front.AllocOn(sock, sc.BgSize*bufSlots)
+		}
+	}
+
+	d.fg = make([]*fgTenant, sc.Tenants)
+	for i := range d.fg {
+		d.fg[i] = newFgTenant(svc, sc, i%2)
+	}
+	d.pop = newZipf(sc.Tenants, sc.ZipfS)
+	rng := sim.NewRand(sc.Seed)
+	d.conns = make([]int, sc.Conns)
+	for i := range d.conns {
+		d.conns[i] = d.pop.sample(rng)
+	}
+
+	d.bounds = make([]sim.Time, len(sc.Phases))
+	at := sim.Time(0)
+	for i, ph := range sc.Phases {
+		at += sim.Time(ph.Dur)
+		d.bounds[i] = at
+	}
+	d.acc = make([][nClasses]classAcc, len(sc.Phases))
+	d.reapQ = make([][]reapItem, sc.Shards)
+	d.reapSig = make([]sim.Signal, sc.Shards)
+	d.subDone = make([]bool, sc.Shards)
+	return d
+}
+
+// phaseAt attributes an instant to the phase it was scheduled in;
+// anything past the last boundary (a backlog draining after the
+// schedule) belongs to the final phase.
+func (d *driver) phaseAt(t sim.Time) int {
+	for i, b := range d.bounds {
+		if t < b {
+			return i
+		}
+	}
+	return len(d.bounds) - 1
+}
+
+// bgCompleted is the plane's completion observer: the stamp is the
+// scheduled arrival, so the stamped latency is already open-loop, and
+// the arrival instant (and with it the phase) is recovered from it.
+func (d *driver) bgCompleted(lat sim.Time) {
+	arr := d.e.Now() - lat
+	d.acc[d.phaseAt(arr)][BG].record(lat, d.sc.BgSLO, false)
+}
+
+// submitter drives one shard's open-loop arrival schedule through every
+// phase. SleepUntil is a no-op when the shard is already behind its
+// schedule, which is exactly the open-loop property: arrivals do not
+// slow down because the shard is slow, the backlog just shows up in the
+// arrival-stamped latencies.
+func (d *driver) submitter(s int) func(p *sim.Proc) {
+	sc := d.sc
+	return func(p *sim.Proc) {
+		rng := sim.NewRand(sc.Seed ^ 0x9E3779B97F4A7C15*uint64(s+1))
+		gen := newArrivals(sc.Seed ^ 0xD1B54A32D192ED03*uint64(s+1))
+		shardRate := sc.BaseRate / float64(sc.Shards)
+		var pending []pendingMsg
+		count := 0
+		next, start := sim.Time(0), sim.Time(0)
+		for pi, ph := range sc.Phases {
+			for {
+				next += gen.next(ph, shardRate, next-start, sim.Time(ph.Dur))
+				if next >= d.bounds[pi] {
+					break
+				}
+				p.SleepUntil(next)
+				d.arrive(p, s, rng, pi, next, &pending)
+				count++
+				if sc.ConnChurn > 0 && count%sc.ConnChurn == 0 {
+					d.conns[rng.Intn(len(d.conns))] = d.pop.sample(rng)
+				}
+				if sc.TenantChurn > 0 && count%sc.TenantChurn == 0 {
+					d.churnTenant(p, rng)
+				}
+			}
+			start = d.bounds[pi]
+		}
+		d.flushBurst(p, s, &pending)
+		d.subDone[s] = true
+		d.reapSig[s].Broadcast(d.e)
+	}
+}
+
+// arrive dispatches one arrival: pick a connection, pick a class, route.
+func (d *driver) arrive(p *sim.Proc, s int, rng *sim.Rand, pi int, at sim.Time, pending *[]pendingMsg) {
+	ci := rng.Intn(len(d.conns))
+	if rng.Float64() < d.sc.FgShare {
+		d.fgOp(p, s, pi, at, ci)
+		return
+	}
+	d.bgOp(p, s, pi, at, ci, pending)
+}
+
+// fgOp submits one foreground request on the connection's tenant: an
+// express-lane hardware copy, reaped by the shard's reaper so the
+// submitter never blocks on a completion.
+func (d *driver) fgOp(p *sim.Proc, s, pi int, at sim.Time, ci int) {
+	a := &d.acc[pi][FG]
+	a.arrivals++
+	ft := d.fg[d.conns[ci]]
+	f, err := ft.tn.Copy(p, ft.dst.Addr(0), ft.src.Addr(0), d.sc.FgSize, offload.On(offload.Hardware))
+	if err != nil {
+		a.shed++
+		return
+	}
+	d.enqueue(s, reapItem{fut: f, arrs: []sim.Time{at}, cls: FG})
+}
+
+// route maps a connection to its source socket, destination socket, and
+// payload slot offset — pure functions of the connection index so churn
+// re-homing does not need per-connection state.
+func (d *driver) route(ci int) (srcSock, dstSock int, off int64) {
+	srcSock = ci & 1
+	dstSock = srcSock
+	if ci%crossMod < crossCut {
+		dstSock = 1 - srcSock
+	}
+	return srcSock, dstSock, int64(ci%bufSlots) * d.sc.BgSize
+}
+
+// bgOp routes one background payload: through the shard's plane lane
+// (packet switch), or into the shard's pending burst (message broker).
+func (d *driver) bgOp(p *sim.Proc, s, pi int, at sim.Time, ci int, pending *[]pendingMsg) {
+	a := &d.acc[pi][BG]
+	a.arrivals++
+	if d.sc.Pipeline {
+		*pending = append(*pending, pendingMsg{arr: at, conn: ci})
+		if len(*pending) >= d.sc.Burst {
+			d.flushBurst(p, s, pending)
+		}
+		return
+	}
+	srcSock, dstSock, off := d.route(ci)
+	b := &d.bufs[s]
+	err := d.plane.Lane(s).SubmitStamped(p, dsa.Descriptor{
+		Op:   dsa.OpMemmove,
+		Src:  b.src[srcSock].Addr(off),
+		Dst:  b.dst[dstSock].Addr(off),
+		Size: d.sc.BgSize,
+	}, at)
+	if err != nil {
+		a.shed++
+	}
+}
+
+// flushBurst fuses the shard's pending broker messages into one
+// CRC→copy pipeline DAG (per message: CopyCRC into scratch, fenced copy
+// to the consumer slab) and submits it for one admission token. A shed
+// DAG sheds every message it carried, each against its own arrival's
+// phase.
+func (d *driver) flushBurst(p *sim.Proc, s int, pending *[]pendingMsg) {
+	msgs := *pending
+	if len(msgs) == 0 {
+		return
+	}
+	pl := d.front.NewPipeline()
+	arrs := make([]sim.Time, len(msgs))
+	b := &d.bufs[s]
+	for i, m := range msgs {
+		arrs[i] = m.arr
+		srcSock, dstSock, off := d.route(m.conn)
+		staged := pl.Scratch(d.sc.BgSize)
+		crc := pl.CopyCRC(staged, offload.At(b.src[srcSock].Addr(off)), d.sc.BgSize, 0)
+		pl.Copy(offload.At(b.dst[dstSock].Addr(off)), staged, d.sc.BgSize, offload.After(crc))
+	}
+	*pending = msgs[:0]
+	fut, err := pl.Submit(p)
+	if err != nil {
+		for _, arr := range arrs {
+			d.acc[d.phaseAt(arr)][BG].shed++
+		}
+		return
+	}
+	d.enqueue(s, reapItem{fut: fut, arrs: arrs, cls: BG})
+}
+
+// churnTenant retires one random foreground tenant and binds a
+// replacement. The replacement takes the slot before the close, so no
+// shard ever routes to a closed tenant; the retiree's in-flight futures
+// keep resolving and its SLO counters are harvested at the end. The
+// shard stalls for BindCost — the PASID bind is control-plane work that
+// lands on the data path's tail.
+func (d *driver) churnTenant(p *sim.Proc, rng *sim.Rand) {
+	slot := rng.Intn(len(d.fg))
+	old := d.fg[slot]
+	d.fg[slot] = newFgTenant(d.svc, d.sc, slot%2)
+	if err := old.tn.Close(p); err != nil {
+		panic(err)
+	}
+	d.retired = append(d.retired, old.tn)
+	p.Sleep(sim.Time(d.sc.BindCost))
+}
+
+// enqueue hands a submission to the shard's reaper.
+func (d *driver) enqueue(s int, it reapItem) {
+	d.reapQ[s] = append(d.reapQ[s], it)
+	d.reapSig[s].Broadcast(d.e)
+}
+
+// reaper resolves one shard's outstanding futures in FIFO order,
+// recording each carried operation's open-loop latency (completion −
+// scheduled arrival) against its arrival's phase and class budget.
+func (d *driver) reaper(s int) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		for {
+			if len(d.reapQ[s]) == 0 {
+				if d.subDone[s] {
+					return
+				}
+				p.Wait(&d.reapSig[s])
+				continue
+			}
+			it := d.reapQ[s][0]
+			d.reapQ[s] = d.reapQ[s][1:]
+			_, err := it.fut.Wait(p, offload.Interrupt)
+			end := p.Now()
+			budget := d.sc.FgSLO
+			if it.cls == BG {
+				budget = d.sc.BgSLO
+			}
+			for _, arr := range it.arrs {
+				d.acc[d.phaseAt(arr)][it.cls].record(end-arr, budget, err != nil)
+			}
+		}
+	}
+}
+
+// result assembles the per-phase tables and the offload-layer SLO
+// cross-check once the engine has drained.
+func (d *driver) result() Result {
+	res := Result{Scenario: d.sc.Name}
+	for pi, ph := range d.sc.Phases {
+		ps := PhaseStats{Name: ph.Name}
+		durS := ph.Dur.Seconds()
+		for c := Class(0); c < nClasses; c++ {
+			a := &d.acc[pi][c]
+			ps.Offered[c] = float64(a.arrivals) / durS / 1e3
+			ps.Goodput[c] = float64(a.good) / durS / 1e3
+			ps.Shed[c] = a.shed
+			if a.done > 0 {
+				ps.P99[c] = time.Duration(a.lat.Quantile(0.99))
+				ps.P999[c] = time.Duration(a.lat.Quantile(0.999))
+				ps.Max[c] = time.Duration(a.lat.Max())
+			}
+		}
+		res.Phases = append(res.Phases, ps)
+	}
+	tally := func(tn *offload.Tenant) {
+		st := tn.Stats()
+		res.SLOOk += st.SLOOk
+		res.SLOMiss += st.SLOMiss
+	}
+	tally(d.front)
+	for _, ft := range d.fg {
+		tally(ft.tn)
+	}
+	for _, tn := range d.retired {
+		tally(tn)
+	}
+	return res
+}

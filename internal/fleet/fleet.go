@@ -1,0 +1,204 @@
+// Package fleet is the million-client workload frontend: an open-loop
+// traffic driver that runs fleet-service scenarios — a packet switch, a
+// message broker — against the full production offload stack instead of
+// the closed synthetic loops the experiment figures use. Tens of
+// thousands of simulated connections, with Zipf-distributed popularity
+// across a churning foreground tenant population, offer load through
+// Poisson/MMPP arrival processes shaped by phase schedules (steady,
+// diurnal, bursty, overload); the work flows through sharded submission
+// plane lanes, fused CRC→copy pipelines, the QoS express lane, admission
+// control, and the telemetry-driven adaptive policies, exactly as a
+// deployment would drive them.
+//
+// The headline measurement is SLO-attained throughput: the highest
+// offered load at which every QoS class still meets its p99 latency
+// budget (found by a load ramp), the number a capacity planner actually
+// buys. Latency is measured open-loop — from each operation's scheduled
+// arrival instant, not its submit instant — so time spent queued behind
+// an overloaded shard counts against the SLO the way a waiting client
+// observes it (no coordinated omission). Everything is driven by seeded
+// sim.Rand generators threaded through the Zipf, arrival, and phase
+// machinery: the same seed reproduces every table bit-for-bit, which is
+// what lets CI gate on the numbers.
+package fleet
+
+import (
+	"time"
+
+	"dsasim/internal/sim"
+	"dsasim/internal/telemetry"
+)
+
+// Class indexes the two service classes a scenario carries: foreground
+// (latency-sensitive request/metadata traffic, per-tenant) and background
+// (the bulk data plane the service itself operates).
+type Class int
+
+// Service classes.
+const (
+	FG Class = iota
+	BG
+	nClasses
+)
+
+// PhaseKind selects one phase's arrival process shape.
+type PhaseKind int
+
+// Phase kinds.
+const (
+	// Steady is a homogeneous Poisson process at Mult × the base rate.
+	Steady PhaseKind = iota
+	// Diurnal modulates the Poisson rate sinusoidally across the phase
+	// (trough→peak→trough, ±40% around Mult), the compressed day/night
+	// swing of a fleet service.
+	Diurnal
+	// Burst is a two-state MMPP: a slow state at 0.6×Mult and a burst
+	// state at 3×Mult, with exponentially distributed dwell times — the
+	// flash-crowd shape that defeats statically tuned policies.
+	Burst
+	// Overload is Steady beyond capacity; admission control sheds or the
+	// backlog grows, and the phase exists to measure which.
+	Overload
+)
+
+// Phase is one segment of a scenario's load schedule.
+type Phase struct {
+	Name string
+	Kind PhaseKind
+	// Mult scales Scenario.BaseRate for this phase.
+	Mult float64
+	// Dur is the phase's virtual duration.
+	Dur time.Duration
+}
+
+// Scenario parameterizes one fleet workload. The two shipped instances
+// are Packetswitch and Msgbroker; tests run Scaled copies.
+type Scenario struct {
+	Name string
+	Seed uint64
+
+	// Conns is the simulated connection count. Connections are cheap
+	// state (most of a fleet's connections are idle at any instant);
+	// arrivals pick connections, and each connection is homed on a
+	// foreground tenant and a socket.
+	Conns int
+	// Shards is the submission shard count: one submitter process and
+	// one reaper process per shard, and one plane lane per shard when
+	// the background path is the sharded submission plane.
+	Shards int
+	// Tenants is the foreground tenant population size. Connection
+	// popularity across tenants is Zipf(ZipfS)-distributed.
+	Tenants int
+	ZipfS   float64
+
+	// BaseRate is the total offered load (both classes) at multiplier
+	// 1.0, in operations per second of virtual time.
+	BaseRate float64
+	// FgShare is the fraction of arrivals in the foreground class.
+	FgShare float64
+
+	FgSize int64 // foreground op payload bytes
+	BgSize int64 // background op payload bytes
+
+	FgSLO time.Duration // foreground p99 budget
+	BgSLO time.Duration // background p99 budget
+
+	// AdmitCap is the background admission-control ceiling in logical
+	// submissions per second (plane submissions, or pipelines for the
+	// broker). It sits above the base background rate and below
+	// overload, so steady traffic never sheds and overload does.
+	AdmitCap float64
+
+	// ConnChurn, when positive, re-homes one random connection onto a
+	// freshly sampled tenant every ConnChurn arrivals per shard.
+	ConnChurn int
+	// TenantChurn, when positive, retires one foreground tenant (with
+	// whatever futures it has in flight) and binds a replacement every
+	// TenantChurn arrivals per shard. The shard stalls for BindCost
+	// while the replacement's PASID is bound — control-plane cost that
+	// lands on the data path's tail, which is exactly what per-op
+	// microbenchmarks hide.
+	TenantChurn int
+	BindCost    time.Duration
+
+	// Pipeline selects the background data path: false routes each op
+	// through a plane lane (packet switch); true fuses Burst messages
+	// into one CRC→copy pipeline DAG per flush (message broker).
+	Pipeline bool
+	Burst    int
+
+	Phases []Phase
+
+	// Ramp is the SLO-attained-throughput schedule: ascending load
+	// multipliers, each run as a steady phase of RampDur. The attained
+	// throughput is the highest multiplier whose run meets every class
+	// SLO (walked from below; the first failing step stops the ramp).
+	Ramp    []float64
+	RampDur time.Duration
+}
+
+// Scaled returns a copy with every duration (phases and ramp steps)
+// multiplied by f and the connection count scaled to match, for tests
+// that need the same dynamics at a fraction of the event budget. Rates,
+// sizes, and budgets are untouched — scaling those would change the
+// operating point, not the runtime.
+func (sc Scenario) Scaled(f float64) Scenario {
+	out := sc
+	out.Phases = make([]Phase, len(sc.Phases))
+	copy(out.Phases, sc.Phases)
+	for i := range out.Phases {
+		out.Phases[i].Dur = time.Duration(float64(out.Phases[i].Dur) * f)
+	}
+	out.RampDur = time.Duration(float64(sc.RampDur) * f)
+	if c := int(float64(sc.Conns) * f); c > 0 {
+		out.Conns = c
+	}
+	return out
+}
+
+// PhaseStats is one phase's measurement. Rates are in kops/s of virtual
+// time; latencies are the per-class quantiles of the open-loop (arrival→
+// completion) latency distribution. Operations are attributed to the
+// phase their arrival was scheduled in, so an overload phase's backlog
+// draining into the next phase still counts against overload.
+type PhaseStats struct {
+	Name string
+
+	Offered [nClasses]float64 // scheduled arrivals / phase duration
+	Goodput [nClasses]float64 // completions within the class SLO / duration
+	Shed    [nClasses]int64   // arrivals shed by admission or full rings
+
+	P99  [nClasses]time.Duration
+	P999 [nClasses]time.Duration
+	Max  [nClasses]time.Duration
+}
+
+// Result is one scenario run's full measurement.
+type Result struct {
+	Scenario string
+	Phases   []PhaseStats
+
+	// SLOOk/SLOMiss aggregate the offload layer's own per-tenant SLO
+	// accounting (Stats.SLOOk/SLOMiss) across the frontend and the
+	// foreground population — the cross-check that the driver's sketches
+	// and the stack's accounting agree on what was served in budget.
+	SLOOk, SLOMiss int64
+}
+
+// classAcc accumulates one (phase, class) cell during a run.
+type classAcc struct {
+	arrivals int64
+	done     int64
+	good     int64
+	shed     int64
+	lat      telemetry.Sketch // open-loop latency, ns
+}
+
+// record scores one completion against the class budget.
+func (a *classAcc) record(lat sim.Time, budget time.Duration, failed bool) {
+	a.done++
+	a.lat.Add(int64(lat))
+	if !failed && lat <= sim.Time(budget) {
+		a.good++
+	}
+}

@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dsasim/internal/sim"
+)
+
+// testScale shrinks the shipped scenarios for unit tests: same rates,
+// sizes, and budgets (the operating point), a fraction of the virtual
+// time and connection count.
+const testScale = 0.2
+
+func TestZipfSampler(t *testing.T) {
+	z := newZipf(16, 1.1)
+	rng := sim.NewRand(7)
+	var counts [16]int
+	n := 20000
+	for i := 0; i < n; i++ {
+		r := z.sample(rng)
+		if r < 0 || r >= 16 {
+			t.Fatalf("sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate rank 8 by roughly (9/1)^1.1 ≈ 11×; allow slack.
+	if counts[0] < 5*counts[8] {
+		t.Fatalf("zipf skew too flat: rank0=%d rank8=%d", counts[0], counts[8])
+	}
+	// Uniform degenerates: every rank within 2× of the mean.
+	u := newZipf(8, 0)
+	var uc [8]int
+	for i := 0; i < n; i++ {
+		uc[u.sample(rng)]++
+	}
+	for r, c := range uc {
+		if c < n/16 || c > n/4 {
+			t.Fatalf("uniform zipf rank %d count %d, want ≈%d", r, c, n/8)
+		}
+	}
+}
+
+func TestArrivalRates(t *testing.T) {
+	// Mean arrival rate over a long window tracks the configured rate for
+	// each phase kind (diurnal and MMPP modulate around the same mean).
+	for _, kind := range []PhaseKind{Steady, Diurnal, Burst, Overload} {
+		gen := newArrivals(11)
+		ph := Phase{Kind: kind, Mult: 1.0, Dur: 100 * time.Millisecond}
+		rate := 1e6 // ops/s
+		var at sim.Time
+		n := 0
+		for at < sim.Time(ph.Dur) {
+			at += gen.next(ph, rate, at, sim.Time(ph.Dur))
+			n++
+		}
+		want := rate * ph.Dur.Seconds()
+		if float64(n) < 0.85*want || float64(n) > 1.15*want {
+			t.Fatalf("kind %d: %d arrivals over %v at %v ops/s, want ≈%v", kind, n, ph.Dur, rate, want)
+		}
+	}
+}
+
+func TestSameSeedSameTables(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc.Scaled(testScale)
+		a := Run(sc)
+		b := Run(sc)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different results:\n%+v\n%+v", sc.Name, a, b)
+		}
+		if a.SLOOk+a.SLOMiss == 0 {
+			t.Fatalf("%s: offload-layer SLO accounting saw no operations", sc.Name)
+		}
+	}
+}
+
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc.Scaled(testScale)
+		r := Run(sc)
+		t.Logf("%s:", sc.Name)
+		for _, ph := range r.Phases {
+			t.Logf("  %-9s fg: off=%8.1f good=%8.1f shed=%6d p99=%9v | bg: off=%8.1f good=%8.1f shed=%6d p99=%9v",
+				ph.Name, ph.Offered[FG], ph.Goodput[FG], ph.Shed[FG], ph.P99[FG],
+				ph.Offered[BG], ph.Goodput[BG], ph.Shed[BG], ph.P99[BG])
+		}
+		t.Logf("  sloOk=%d sloMiss=%d", r.SLOOk, r.SLOMiss)
+	}
+}

@@ -1,0 +1,56 @@
+package fleet
+
+import "testing"
+
+func TestAttainedRampShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ramp run")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc.Scaled(testScale)
+		att, base, steps := Attained(sc)
+		t.Logf("%s: attained=%.0f base=%.0f", sc.Name, att, base)
+		for _, st := range steps {
+			ph := st.Result.Phases[0]
+			t.Logf("  x%.2f kops=%7.0f pass=%v fgP99=%9v bgP99=%9v bgShed=%d",
+				st.Mult, st.Kops, st.Pass, ph.P99[FG], ph.P99[BG], ph.Shed[BG])
+		}
+		if base != sc.BaseRate/1e3 {
+			t.Fatalf("%s: base = %v, want %v", sc.Name, base, sc.BaseRate/1e3)
+		}
+		if att < base {
+			t.Fatalf("%s: attained %.0f below base %.0f — the scenario cannot carry its own design load", sc.Name, att, base)
+		}
+		// The walk stops at the first failure: every step but the last
+		// passed, and a failing last step is the knee.
+		for i, st := range steps[:len(steps)-1] {
+			if !st.Pass {
+				t.Fatalf("%s: non-final step %d (x%.2f) failed", sc.Name, i, st.Mult)
+			}
+		}
+	}
+}
+
+// TestDefusedAdmissionLowersAttained injects the regression the CI floor
+// exists to catch: collapsing the background admission ceiling to a
+// fraction of the design load (an over-throttling misconfiguration)
+// must drag the SLO-attained throughput below the healthy scenario's —
+// the headline metric sees the control-plane break, not just raw GB/s.
+func TestDefusedAdmissionLowersAttained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ramp run")
+	}
+	sc := Packetswitch().Scaled(testScale)
+	healthy, _, _ := Attained(sc)
+
+	broken := sc
+	broken.AdmitCap = sc.BaseRate * (1 - sc.FgShare) * 0.3
+	degraded, _, _ := Attained(broken)
+
+	t.Logf("healthy attained=%.0f, defused-admission attained=%.0f", healthy, degraded)
+	// The bucket's initial burst can carry the lowest step or two even
+	// over-throttled, but the knee must collapse well below healthy.
+	if degraded > 0.6*healthy {
+		t.Fatalf("collapsed admission ceiling barely moved attained throughput (%.0f vs healthy %.0f)", degraded, healthy)
+	}
+}

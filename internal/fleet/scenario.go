@@ -1,0 +1,104 @@
+package fleet
+
+import "time"
+
+// rampMults is the shared load ramp: ~15-20% steps so the attained
+// throughput moves at most one step under small perturbations, which is
+// what lets CI hold an absolute floor on it.
+var rampMults = []float64{0.5, 0.7, 0.85, 1.0, 1.15, 1.3, 1.5, 1.7, 2.0}
+
+// fleetPhases is the shared phase schedule: a steady warm period, the
+// compressed diurnal swing, a flash-crowd MMPP phase, an overload spike
+// past the admission ceiling, and a post-overload recovery that shows
+// whether the backlog drains.
+func fleetPhases() []Phase {
+	return []Phase{
+		{Name: "steady", Kind: Steady, Mult: 1.0, Dur: 5 * time.Millisecond},
+		{Name: "diurnal", Kind: Diurnal, Mult: 1.1, Dur: 6 * time.Millisecond},
+		{Name: "burst", Kind: Burst, Mult: 1.0, Dur: 5 * time.Millisecond},
+		{Name: "overload", Kind: Overload, Mult: 2.2, Dur: 4 * time.Millisecond},
+		{Name: "recovery", Kind: Steady, Mult: 0.8, Dur: 4 * time.Millisecond},
+	}
+}
+
+// Packetswitch is the packet-switch fleet scenario: a soft switch whose
+// background plane forwards 32 KB frame batches through per-shard
+// submission-plane lanes while foreground tenants issue 4 KB
+// latency-sensitive lookups through the express path. ~30% of frames
+// cross sockets, so the load-aware placement actually routes.
+func Packetswitch() Scenario {
+	return Scenario{
+		Name:    "packetswitch-fleet",
+		Seed:    0x5EED_F1EE7,
+		Conns:   20000,
+		Shards:  16,
+		Tenants: 24,
+		ZipfS:   1.1,
+
+		BaseRate: 1.55e6,
+		FgShare:  0.65,
+		FgSize:   4 << 10,
+		BgSize:   32 << 10,
+
+		FgSLO: 30 * time.Microsecond,
+		BgSLO: 120 * time.Microsecond,
+
+		// 1.6× the base background rate: steady never sheds, the 2.2×
+		// overload spike does.
+		AdmitCap: 1.55e6 * 0.35 * 1.6,
+
+		ConnChurn:   400,
+		TenantChurn: 2500,
+		BindCost:    6 * time.Microsecond,
+
+		Phases:  fleetPhases(),
+		Ramp:    rampMults,
+		RampDur: 4 * time.Millisecond,
+	}
+}
+
+// Msgbroker is the message-broker fleet scenario: producers append 16 KB
+// messages that the broker checksums into a staging log and replicates
+// to a consumer slab — per burst of four messages, one fused CRC→copy
+// pipeline DAG — while foreground tenants run the metadata/ack path.
+// The background budget is loose (500µs) because it deliberately
+// includes the burst accumulation delay: an arrival waits for its batch,
+// and the open-loop measurement charges that wait to the broker.
+func Msgbroker() Scenario {
+	return Scenario{
+		Name:    "msgbroker-fleet",
+		Seed:    0xB0C_A5EED,
+		Conns:   12000,
+		Shards:  12,
+		Tenants: 16,
+		ZipfS:   1.05,
+
+		BaseRate: 1.2e6,
+		FgShare:  0.5,
+		FgSize:   4 << 10,
+		BgSize:   16 << 10,
+
+		FgSLO: 30 * time.Microsecond,
+		BgSLO: 500 * time.Microsecond,
+
+		// The admission unit is one pipeline DAG (Burst messages), so the
+		// ceiling is on the DAG rate: 1.6× its base.
+		AdmitCap: 1.2e6 * 0.5 / 4 * 1.6,
+
+		ConnChurn:   400,
+		TenantChurn: 2500,
+		BindCost:    6 * time.Microsecond,
+
+		Pipeline: true,
+		Burst:    4,
+
+		Phases:  fleetPhases(),
+		Ramp:    rampMults,
+		RampDur: 4 * time.Millisecond,
+	}
+}
+
+// Scenarios returns the shipped fleet scenarios in experiment order.
+func Scenarios() []Scenario {
+	return []Scenario{Packetswitch(), Msgbroker()}
+}

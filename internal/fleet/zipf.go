@@ -1,0 +1,38 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"dsasim/internal/sim"
+)
+
+// zipf samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s from a
+// precomputed CDF — the tenant-popularity distribution (BriskStream's
+// observation: shared-memory streaming systems only show their real
+// bottlenecks under skewed load, and fleet tenant popularity is the
+// canonical skew). Sampling is a binary search over the CDF, driven by a
+// caller-owned seeded sim.Rand so every consumer stays deterministic.
+type zipf struct {
+	cdf []float64
+}
+
+// newZipf builds the rank CDF. s = 0 degenerates to uniform.
+func newZipf(n int, s float64) *zipf {
+	z := &zipf{cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// sample draws one rank.
+func (z *zipf) sample(rng *sim.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

@@ -1,0 +1,199 @@
+package offload_test
+
+// Tenant churn: fleet-scale services retire and replace tenants while
+// operations are still in flight. These tests pin the lifecycle contract
+// Close promises — queued work flushes, in-flight futures stay waitable
+// (including under interrupt coalescing, whose last window must still
+// deliver for a closed tenant), and every later submission path fails
+// with ErrTenantClosed.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dsasim/internal/dsa"
+	"dsasim/internal/offload"
+	"dsasim/internal/sim"
+)
+
+func TestCloseWithInflightFuturesUnderCoalescing(t *testing.T) {
+	r := newRig(t, 1)
+	svc := r.service(t)
+	pol := offload.DefaultPolicy()
+	pol.Wait = offload.Interrupt
+	pol.CoalesceCount = 4
+	pol.CoalesceWindow = 8 * time.Microsecond
+	pol.AutoBatch = 4
+	tn, err := svc.NewTenant(offload.WithClass(offload.Bulk), offload.TenantPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(64 << 10)
+	src, dst := tn.Alloc(n), tn.Alloc(n)
+	small := int64(1 << 10)
+
+	r.run(func(p *sim.Proc) {
+		var futs []*offload.Future
+		// Hardware copies left in flight across Close.
+		for i := 0; i < 6; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs = append(futs, f)
+		}
+		// Sub-threshold Auto copies queued unflushed in the AutoBatcher:
+		// Close must flush them so their futures are not stranded.
+		for i := 0; i < 3; i++ {
+			f, err := tn.Copy(p, dst.Addr(small), src.Addr(small), small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs = append(futs, f)
+		}
+		if err := tn.Close(p); err != nil {
+			t.Fatalf("Close with in-flight futures: %v", err)
+		}
+		if !tn.Closed() {
+			t.Fatal("Closed() false after Close")
+		}
+		if err := tn.Close(p); !errors.Is(err, offload.ErrTenantClosed) {
+			t.Fatalf("second Close = %v, want ErrTenantClosed", err)
+		}
+		// Every submission path is shut: hardware, software, pipeline.
+		if _, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware)); !errors.Is(err, offload.ErrTenantClosed) {
+			t.Fatalf("hardware Copy after Close = %v, want ErrTenantClosed", err)
+		}
+		if _, err := tn.Copy(p, dst.Addr(0), src.Addr(0), small, offload.NoBatch()); !errors.Is(err, offload.ErrTenantClosed) {
+			t.Fatalf("software Copy after Close = %v, want ErrTenantClosed", err)
+		}
+		pl := tn.NewPipeline()
+		pl.CRC32(offload.At(src.Addr(0)), n, 0)
+		if _, err := pl.Submit(p); !errors.Is(err, offload.ErrTenantClosed) {
+			t.Fatalf("pipeline Submit after Close = %v, want ErrTenantClosed", err)
+		}
+		// The in-flight and flushed futures all still resolve.
+		for i, f := range futs {
+			if _, err := f.Wait(p, offload.Interrupt); err != nil {
+				t.Fatalf("future %d after Close: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestPlaneCloseDetachesRingsForSuccessor(t *testing.T) {
+	r := newRig(t, 1, dsa.WQConfig{Mode: dsa.Shared, Size: 32})
+	svc := r.service(t)
+	tn, err := svc.NewTenant(offload.WithClass(offload.Bulk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := tn.NewPlane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(32 << 10)
+	src, dst := tn.Alloc(n), tn.Alloc(n)
+
+	var lats []sim.Time
+	pl.OnCompletion(func(lat sim.Time) { lats = append(lats, lat) })
+
+	r.run(func(p *sim.Proc) {
+		lane := pl.Lane(0)
+		arrival := p.Now()
+		p.Sleep(3 * time.Microsecond)
+		for i := 0; i < 4; i++ {
+			err := lane.SubmitStamped(p, dsa.Descriptor{
+				Op: dsa.OpMemmove, Src: src.Addr(0), Dst: dst.Addr(0), Size: n,
+			}, arrival)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pl.Close(); err == nil {
+			t.Fatal("Close with work outstanding succeeded")
+		}
+		pl.WaitInflight(p, 0)
+		if len(lats) != 4 {
+			t.Fatalf("observer saw %d completions, want 4", len(lats))
+		}
+		// Stamped latency spans arrival→record, so it includes the 3µs
+		// the submitter sat on the ops before submitting.
+		for _, lat := range lats {
+			if lat < 3*time.Microsecond {
+				t.Fatalf("stamped latency %v shorter than the pre-submit delay", lat)
+			}
+		}
+		if err := tn.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := lane.Submit(p, dsa.Descriptor{
+			Op: dsa.OpMemmove, Src: src.Addr(0), Dst: dst.Addr(0), Size: n,
+		}); !errors.Is(err, offload.ErrTenantClosed) {
+			t.Fatalf("lane Submit after Close = %v, want ErrTenantClosed", err)
+		}
+		if err := pl.Close(); err != nil {
+			t.Fatalf("drained plane Close: %v", err)
+		}
+		// The WQ rings are free again: a replacement tenant attaches its
+		// own plane where NewPlane would have refused before.
+		tn2, err := svc.NewTenant(offload.WithClass(offload.Bulk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tn2.NewPlane(1); err != nil {
+			t.Fatalf("successor NewPlane after Close: %v", err)
+		}
+	})
+}
+
+func TestSLOBudgetAccounting(t *testing.T) {
+	r := newRig(t, 1)
+	svc := r.service(t)
+	pol := offload.DefaultPolicy()
+	pol.SLOBudget = 500 * time.Microsecond
+	tn, err := svc.NewTenant(offload.WithClass(offload.Bulk), offload.TenantPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := pol
+	tight.SLOBudget = time.Nanosecond
+	miss, err := svc.NewTenant(offload.WithClass(offload.Bulk), offload.TenantPolicy(tight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(64 << 10)
+	src, dst := tn.Alloc(n), tn.Alloc(n)
+	msrc, mdst := miss.Alloc(n), miss.Alloc(n)
+
+	r.run(func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			f, err := tn.Copy(p, dst.Addr(0), src.Addr(0), n, offload.On(offload.Hardware))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Wait(p, offload.Poll); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A software-path op is scored too.
+		if _, err := tn.Copy(p, dst.Addr(0), src.Addr(0), 256, offload.On(offload.Software)); err != nil {
+			t.Fatal(err)
+		}
+		f, err := miss.Copy(p, mdst.Addr(0), msrc.Addr(0), n, offload.On(offload.Hardware))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Wait(p, offload.Poll); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if s := tn.Stats(); s.SLOOk != 4 || s.SLOMiss != 0 {
+		t.Fatalf("generous budget: ok=%d miss=%d, want 4/0", s.SLOOk, s.SLOMiss)
+	}
+	if s := miss.Stats(); s.SLOOk != 0 || s.SLOMiss != 1 {
+		t.Fatalf("1ns budget: ok=%d miss=%d, want 0/1", s.SLOOk, s.SLOMiss)
+	}
+}

@@ -109,6 +109,7 @@ func (f *Future) Wait(p *sim.Proc, mode WaitMode) (Result, error) {
 		}
 		f.done, f.res, f.err = true, f.run.res, f.run.err
 		f.res.Duration = p.Now() - f.start
+		f.t.recordSLO(f.res.Duration)
 		return f.res, f.err
 	}
 	if f.parts != nil {
@@ -206,11 +207,15 @@ func (r *pipeRun) finish(e *sim.Engine, res Result, err error) {
 	r.sig.Broadcast(e)
 }
 
-// resolve decodes the completion record into the memoized result.
+// resolve decodes the completion record into the memoized result. Every
+// resolved completion — success or failure — is scored against the
+// tenant's SLO budget: a failed operation did not serve its client within
+// budget either.
 func (f *Future) resolve(dur sim.Time) {
 	f.done = true
 	rec := f.comp.Record()
 	f.res = Result{Record: rec, Hardware: true, Duration: dur}
+	f.t.recordSLO(dur)
 	countFailure := func() {
 		if f.sharedWait != nil {
 			if f.sharedWait.failCounted {

@@ -83,6 +83,11 @@ type Plane struct {
 	wakeEvery int64
 	compCount atomic.Int64
 
+	// onLat, when set, observes the stamped latency of every completion
+	// (see OnCompletion). Engine-domain: installed before traffic starts,
+	// invoked from the device completion path.
+	onLat func(lat sim.Time)
+
 	drainOn bool
 	lastPub sim.Time
 	pubbed  bool
@@ -196,6 +201,14 @@ func (pl *Plane) Lanes() int { return len(pl.lanes) }
 // WQs returns the work queues the plane feeds, indexed like its rings.
 func (pl *Plane) WQs() []*dsa.WQ { return pl.wqs }
 
+// OnCompletion registers fn to observe the stamped latency of every plane
+// completion: the span from the submission's stamp (the submit instant,
+// or the caller-provided stamp of SubmitStamped) to the completion record
+// write. Install before traffic starts; the hook runs on the device
+// completion path, so it must not block. The fleet driver feeds its
+// per-class latency sketches from here.
+func (pl *Plane) OnCompletion(fn func(lat sim.Time)) { pl.onLat = fn }
+
 // Pending returns entries pushed to rings but not yet WQ-accepted.
 func (pl *Plane) Pending() int64 { return pl.pending.Load() }
 
@@ -261,6 +274,9 @@ func (l *Lane) pickRing() int {
 // now is the submitter's notion of virtual time; concurrent callers on
 // distinct lanes never share state beyond the rings' atomics.
 func (l *Lane) TrySubmit(now sim.Time, d dsa.Descriptor) error {
+	if l.pl.t.closed.Load() {
+		return fmt.Errorf("offload: lane %d: %w", l.id, ErrTenantClosed)
+	}
 	rate, burst := l.laneShare()
 	if ok, _ := l.bucket.take(now, rate, burst); !ok {
 		l.pl.t.stats.shed.Add(1)
@@ -269,7 +285,8 @@ func (l *Lane) TrySubmit(now sim.Time, d dsa.Descriptor) error {
 	d.PASID = l.pl.t.AS.PASID
 	d.Flags |= l.pl.t.policy.Flags
 	idx := l.pickRing()
-	if !l.pl.rings[idx].TryPush(d, uint64(l.id)) {
+	stamp := stampTag(now)
+	if !l.pl.rings[idx].TryPush(d, stamp) {
 		// Preferred ring full: sweep the remaining candidates once.
 		cands := l.pl.bulkCand
 		if l.pl.t.class == LatencySensitive {
@@ -277,7 +294,7 @@ func (l *Lane) TrySubmit(now sim.Time, d dsa.Descriptor) error {
 		}
 		pushed := false
 		for _, i := range cands {
-			if i != idx && l.pl.rings[i].TryPush(d, uint64(l.id)) {
+			if i != idx && l.pl.rings[i].TryPush(d, stamp) {
 				pushed = true
 				break
 			}
@@ -300,9 +317,25 @@ func (l *Lane) TrySubmit(now sim.Time, d dsa.Descriptor) error {
 // capacity-1 token held for Timing.RingPush, the only serialization
 // point left between submitters sharing a ring. The drain is scheduled
 // lazily and the submission completes through the normal device path.
+// The completion is stamped with the submit instant (see SubmitStamped).
 func (l *Lane) Submit(p *sim.Proc, d dsa.Descriptor) error {
+	return l.SubmitStamped(p, d, p.Now())
+}
+
+// SubmitStamped is Submit with an explicit latency stamp: the instant the
+// operation logically entered the system, carried through the ring to the
+// completion path, where the stamp-to-record span is scored against the
+// tenant's SLO budget and handed to the OnCompletion observer. Open-loop
+// drivers (internal/fleet) stamp the scheduled arrival time instead of
+// the submit instant, so time an overloaded shard spends behind its own
+// backlog counts against the SLO the way a waiting client would see it —
+// the standard guard against coordinated omission.
+func (l *Lane) SubmitStamped(p *sim.Proc, d dsa.Descriptor, stamp sim.Time) error {
 	pl := l.pl
 	t := pl.t
+	if t.closed.Load() {
+		return fmt.Errorf("offload: lane %d: %w", l.id, ErrTenantClosed)
+	}
 	rate, burst := l.laneShare()
 	ok, wait := l.bucket.take(p.Now(), rate, burst)
 	if !ok {
@@ -328,7 +361,7 @@ func (l *Lane) Submit(p *sim.Proc, d dsa.Descriptor) error {
 	// The portal write itself is per-submitter work: each lane's proc
 	// pays it in its own virtual timeline.
 	p.Sleep(tm.SubmitENQCMD)
-	for !pl.rings[idx].TryPush(d, uint64(l.id)) {
+	for !pl.rings[idx].TryPush(d, stampTag(stamp)) {
 		p.Sleep(tm.PollGap)
 	}
 	t.stats.hwOps.Add(1)
@@ -376,7 +409,7 @@ func (pl *Plane) drain(p *sim.Proc) {
 					blocked = true
 					break
 				}
-				comp.SetOnDone(pl.completed, uint64(i))
+				comp.SetOnDone(pl.completed, held[i].Tag)
 				holding[i] = false
 				pl.inflight.Add(1)
 				pl.pending.Add(-1)
@@ -401,11 +434,23 @@ func (pl *Plane) drain(p *sim.Proc) {
 	}
 }
 
+// stampTag encodes a submission's latency stamp into the ring tag. The
+// +1 keeps tag 0 meaning "no stamp" even for a submission at virtual
+// time zero.
+func stampTag(at sim.Time) uint64 { return uint64(at) + 1 }
+
 // completed is the plane's completion hook (dsa.Completion.SetOnDone):
-// decrement inflight and wake waiters — every wakeEvery-th completion,
-// or immediately when the plane drains to zero, mirroring how interrupt
-// coalescing amortizes delivery.
-func (pl *Plane) completed(uint64) {
+// score the stamped latency, decrement inflight, and wake waiters —
+// every wakeEvery-th completion, or immediately when the plane drains to
+// zero, mirroring how interrupt coalescing amortizes delivery.
+func (pl *Plane) completed(tag uint64) {
+	if tag != 0 {
+		lat := pl.t.S.E.Now() - sim.Time(tag-1)
+		pl.t.recordSLO(lat)
+		if pl.onLat != nil {
+			pl.onLat(lat)
+		}
+	}
 	left := pl.inflight.Add(-1)
 	if left == 0 || pl.compCount.Add(1)%pl.wakeEvery == 0 {
 		pl.doneSig.Broadcast(pl.t.S.E)
@@ -421,4 +466,20 @@ func (pl *Plane) WaitInflight(p *sim.Proc, max int64) {
 		pl.ensureDrain()
 		p.Wait(&pl.doneSig)
 	}
+}
+
+// Close detaches the plane from its WQ rings so a successor plane (a
+// replacement tenant's, under churn) can attach. It refuses while work
+// is outstanding — WaitInflight(p, 0) first — because the rings' single
+// consumer is this plane's drain. The tenant is left planeless, not
+// closed: Tenant.Close is the lifecycle call, this is its plane half.
+func (pl *Plane) Close() error {
+	if n := pl.pending.Load() + pl.inflight.Load(); n != 0 {
+		return fmt.Errorf("offload: plane closed with %d operations outstanding", n)
+	}
+	for _, wq := range pl.wqs {
+		wq.DetachRing()
+	}
+	pl.t.plane = nil
+	return nil
 }

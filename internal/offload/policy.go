@@ -128,6 +128,13 @@ type Policy struct {
 	// letting it re-schedule or shed load.
 	MaxRetries int
 
+	// SLOBudget, when positive, is the tenant's per-operation completion
+	// latency budget — the per-QoS-class p99 target the fleet scenarios
+	// gate on. Every resolved operation (hardware, software, plane- or
+	// pipeline-submitted) is scored against it on Stats.SLOOk/SLOMiss.
+	// Pure accounting: the budget never changes scheduling or admission.
+	SLOBudget time.Duration
+
 	// Flags is OR-ed into every hardware descriptor (cache control,
 	// block-on-fault, ...).
 	Flags dsa.Flags
@@ -179,6 +186,13 @@ type Stats struct {
 	// detector flagged on this tenant's completion streams (sustained
 	// window-over-window p99/rate deltas).
 	Drifts int64
+
+	// SLOOk/SLOMiss score every resolved operation against the tenant's
+	// Policy.SLOBudget (both zero when the policy sets no budget). The
+	// fleet driver reads them as a cross-check of its own per-class
+	// latency sketches.
+	SLOOk   int64
+	SLOMiss int64
 }
 
 // statCounters is the tenant's live counter storage. The fields mirror
@@ -197,6 +211,7 @@ type statCounters struct {
 	shed, delayed    atomic.Int64
 	pipelines        atomic.Int64
 	admitWakeups     atomic.Int64
+	sloOk, sloMiss   atomic.Int64
 }
 
 // snapshot assembles the public Stats view from atomic loads.
@@ -214,5 +229,7 @@ func (c *statCounters) snapshot() Stats {
 		Delayed:      c.delayed.Load(),
 		Pipelines:    c.pipelines.Load(),
 		AdmitWakeups: c.admitWakeups.Load(),
+		SLOOk:        c.sloOk.Load(),
+		SLOMiss:      c.sloMiss.Load(),
 	}
 }

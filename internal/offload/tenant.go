@@ -1,7 +1,9 @@
 package offload
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dsasim/internal/cpu"
 	"dsasim/internal/dif"
@@ -9,6 +11,11 @@ import (
 	"dsasim/internal/mem"
 	"dsasim/internal/sim"
 )
+
+// ErrTenantClosed is returned (wrapped) by every submission path of a
+// tenant retired with Close. Futures already in flight at Close are not
+// affected — they remain waitable and resolve normally.
+var ErrTenantClosed = errors.New("tenant closed")
 
 // Tenant is one client of the service: a PASID-bound address space and a
 // submitting core, with its own policy, batcher, and counters. Tenants
@@ -50,6 +57,51 @@ type Tenant struct {
 	coal       *dsa.Coalescer
 	coalCount  int
 	coalWindow sim.Time
+
+	// closed marks a retired tenant (Close). Atomic because the plane's
+	// host-domain TrySubmit path reads it from concurrent goroutines
+	// while Close runs engine-side.
+	closed atomic.Bool
+}
+
+// Close retires the tenant: its queued auto-batch is flushed so no future
+// is stranded unflushed, and every later submission — classic, plane lane,
+// pipeline, or software fallback — fails with ErrTenantClosed. Operations
+// already in flight are unaffected: their futures remain waitable and
+// resolve through the normal completion path (the churn tests pin this,
+// including under interrupt coalescing, where a closed tenant's last
+// window still delivers). Closing an already-closed tenant is an error.
+//
+// Fleet-style churn closes tenants with work outstanding as a matter of
+// course; the service keeps the PASID binding (address-space teardown is
+// out of scope for the simulation), so a replacement tenant is simply
+// NewTenant again.
+func (t *Tenant) Close(p *sim.Proc) error {
+	if t.closed.Load() {
+		return fmt.Errorf("offload: close: %w", ErrTenantClosed)
+	}
+	if t.batcher != nil {
+		t.batcher.Flush(p)
+	}
+	t.closed.Store(true)
+	return nil
+}
+
+// Closed reports whether the tenant has been retired with Close.
+func (t *Tenant) Closed() bool { return t.closed.Load() }
+
+// recordSLO scores one completed operation's latency against the tenant's
+// SLO budget. No-op without a budget.
+func (t *Tenant) recordSLO(d sim.Time) {
+	b := sim.Time(t.policy.SLOBudget)
+	if b <= 0 {
+		return
+	}
+	if d <= b {
+		t.stats.sloOk.Add(1)
+	} else {
+		t.stats.sloMiss.Add(1)
+	}
 }
 
 // Policy returns the tenant's active policy.
@@ -194,6 +246,9 @@ func (t *Tenant) autoBatchable(c submitCfg, n int64) bool {
 // admitted immediately, delayed until a token accrues (Policy.AdmitWait),
 // or shed with ErrAdmission.
 func (t *Tenant) admit(p *sim.Proc) error {
+	if t.closed.Load() {
+		return fmt.Errorf("offload: %w", ErrTenantClosed)
+	}
 	ok, wait := t.bucket.take(p.Now(), t.policy.AdmitRate, t.policy.AdmitBurst)
 	if ok {
 		return nil
@@ -290,6 +345,9 @@ func (t *Tenant) submit(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future
 // the same single token (Policy.SplitBatches is a placement knob, not an
 // extra submission).
 func (t *Tenant) submitAdmitted(p *sim.Proc, d dsa.Descriptor, flags dsa.Flags) (*Future, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("offload: %w", ErrTenantClosed)
+	}
 	d.PASID = t.AS.PASID
 	d.Flags |= t.policy.Flags | flags
 	return t.dispatch(p, d, t.request(&d))
@@ -337,6 +395,9 @@ func (t *Tenant) dispatch(p *sim.Proc, d dsa.Descriptor, req Request) (*Future, 
 
 // sw wraps a completed software-path result, charging the core time.
 func (t *Tenant) sw(p *sim.Proc, start sim.Time, bytes int64, dur sim.Time, err error, fill func(*Result)) (*Future, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("offload: %w", ErrTenantClosed)
+	}
 	if err != nil {
 		t.stats.failures.Add(1)
 		return nil, err
@@ -348,6 +409,7 @@ func (t *Tenant) sw(p *sim.Proc, start sim.Time, bytes int64, dur sim.Time, err 
 	if fill != nil {
 		fill(&res)
 	}
+	t.recordSLO(res.Duration)
 	return completed(res, nil), nil
 }
 

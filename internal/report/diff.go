@@ -3,6 +3,7 @@ package report
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 )
 
 // Gate asserts one speedup of a benchmark trajectory: the ratio of the
@@ -60,6 +61,13 @@ type GateResult struct {
 	Current  float64 // the speedup measured from the current run
 	Failed   bool
 	Reason   string // why the gate failed (regression or missing data)
+
+	// Missing distinguishes a gate that could not be evaluated — the
+	// experiment, table, or series point is absent from the baseline or
+	// candidate documents — from a measured regression. A renamed series
+	// or a dropped experiment is a wiring break, not a slowdown, and CI
+	// reports it as such.
+	Missing bool
 }
 
 // CompareGates evaluates every gate against the baseline and current
@@ -73,13 +81,13 @@ func CompareGates(gates []Gate, baseline, current map[string]BenchDoc, maxRegres
 		r := GateResult{Gate: g}
 		base, err := speedupOf(g, baseline)
 		if err != nil {
-			r.Failed, r.Reason = true, fmt.Sprintf("baseline: %v", err)
+			r.Failed, r.Missing, r.Reason = true, true, fmt.Sprintf("baseline: %v", err)
 			results = append(results, r)
 			continue
 		}
 		cur, err := speedupOf(g, current)
 		if err != nil {
-			r.Failed, r.Reason = true, fmt.Sprintf("current: %v", err)
+			r.Failed, r.Missing, r.Reason = true, true, fmt.Sprintf("current: %v", err)
 			results = append(results, r)
 			continue
 		}
@@ -95,6 +103,50 @@ func CompareGates(gates []Gate, baseline, current map[string]BenchDoc, maxRegres
 		results = append(results, r)
 	}
 	return results
+}
+
+// MarkdownGates renders the per-gate verdict table as GitHub-flavored
+// markdown for CI step summaries — written on pass and fail alike, so
+// every run leaves the measured ratios where a reviewer sees them.
+func MarkdownGates(results []GateResult, maxRegression float64) string {
+	var b strings.Builder
+	failed, missing := 0, 0
+	for _, r := range results {
+		if r.Missing {
+			missing++
+		} else if r.Failed {
+			failed++
+		}
+	}
+	switch {
+	case missing > 0:
+		fmt.Fprintf(&b, "### ❌ Bench gates: %d unevaluable, %d regressed (of %d)\n\n", missing, failed, len(results))
+	case failed > 0:
+		fmt.Fprintf(&b, "### ❌ Bench gates: %d of %d regressed\n\n", failed, len(results))
+	default:
+		fmt.Fprintf(&b, "### ✅ Bench gates: all %d within %.0f%% of baseline\n\n", len(results), maxRegression*100)
+	}
+	b.WriteString("| gate | baseline | current | delta | verdict |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range results {
+		verdict := "ok"
+		switch {
+		case r.Missing:
+			verdict = "**MISSING**: " + r.Reason
+		case r.Failed:
+			verdict = "**FAIL**: " + r.Reason
+		}
+		base, cur, delta := "-", "-", "-"
+		if !r.Missing {
+			base = fmt.Sprintf("%.2fx", r.Baseline)
+			cur = fmt.Sprintf("%.2fx", r.Current)
+			if r.Baseline > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (r.Current/r.Baseline-1)*100)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", r.Gate.String(), base, cur, delta, verdict)
+	}
+	return b.String()
 }
 
 // speedupOf resolves one gate's ratio from a document set.

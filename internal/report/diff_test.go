@@ -194,6 +194,149 @@ func TestPipelineGatesCatchInjectedRegression(t *testing.T) {
 	}
 }
 
+// TestMissingDataClassifiedDistinctly pins the Missing flag: a gate
+// whose series vanished from the candidate documents is a wiring break
+// and must not read as a measured regression (bench-diff exits 3 on it,
+// not 1).
+func TestMissingDataClassifiedDistinctly(t *testing.T) {
+	g := Gate{Experiment: "placement", Table: "placement", X: "skew", Series: "placement-load", Against: "placement"}
+	full := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-load/skew": 56.0, "placement/skew": 30.0}),
+	}
+
+	// Series renamed away in the candidate: Missing, with the current-side
+	// reason naming the absent point.
+	renamed := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-loadaware/skew": 56.0, "placement/skew": 30.0}),
+	}
+	res := CompareGates([]Gate{g}, full, renamed, 0.15)
+	if len(res) != 1 || !res[0].Failed || !res[0].Missing {
+		t.Fatalf("missing series not classified Missing: %+v", res)
+	}
+	if !strings.Contains(res[0].Reason, "current") {
+		t.Fatalf("missing-series reason does not name the candidate side: %q", res[0].Reason)
+	}
+
+	// A genuine regression is NOT Missing.
+	slow := map[string]BenchDoc{
+		"placement": doc("placement", map[string]float64{"placement-load/skew": 31.0, "placement/skew": 30.0}),
+	}
+	res = CompareGates([]Gate{g}, full, slow, 0.15)
+	if len(res) != 1 || !res[0].Failed || res[0].Missing {
+		t.Fatalf("measured regression misclassified: %+v", res)
+	}
+
+	// Absent on the baseline side is Missing too.
+	res = CompareGates([]Gate{g}, map[string]BenchDoc{}, full, 0.15)
+	if len(res) != 1 || !res[0].Missing || !strings.Contains(res[0].Reason, "baseline") {
+		t.Fatalf("missing baseline not classified: %+v", res)
+	}
+}
+
+func TestMarkdownGates(t *testing.T) {
+	pass := GateResult{Gate: Gate{Experiment: "e", Table: "t", X: "x", Series: "a", Against: "b"}, Baseline: 2, Current: 2.1}
+	fail := pass
+	fail.Failed, fail.Reason, fail.Current = true, "speedup 1.00x below floor", 1.0
+	miss := pass
+	miss.Failed, miss.Missing, miss.Reason = true, true, `current: table "t" has no point (a, x)`
+
+	md := MarkdownGates([]GateResult{pass}, 0.15)
+	if !strings.Contains(md, "✅") || !strings.Contains(md, "| e/t[x] a vs b |") {
+		t.Fatalf("pass summary malformed:\n%s", md)
+	}
+	md = MarkdownGates([]GateResult{pass, fail}, 0.15)
+	if !strings.Contains(md, "❌") || !strings.Contains(md, "**FAIL**") || !strings.Contains(md, "1 of 2") {
+		t.Fatalf("fail summary malformed:\n%s", md)
+	}
+	md = MarkdownGates([]GateResult{miss}, 0.15)
+	if !strings.Contains(md, "**MISSING**") || !strings.Contains(md, "unevaluable") {
+		t.Fatalf("missing summary malformed:\n%s", md)
+	}
+}
+
+// TestFleetGatesCatchInjectedRegression pins the fleet headline's CI
+// wiring the way the pipeline test pins fusion's: the committed
+// gates.json entries must pass against the committed BENCH_fleet.json
+// baseline, and an injected capacity regression — SLO-attained
+// throughput collapsing to the design load, i.e. the ramp failing right
+// above Mult=1.0 — must trip every fleet-slo floor.
+func TestFleetGatesCatchInjectedRegression(t *testing.T) {
+	gateData, err := os.ReadFile(filepath.Join("..", "..", "bench", "baseline", "gates.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ParseGates(gateData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gates, sloGates []Gate
+	for _, g := range all {
+		if g.Experiment == "fleet" {
+			gates = append(gates, g)
+			if g.Table == "fleet-slo" {
+				sloGates = append(sloGates, g)
+			}
+		}
+	}
+	if len(sloGates) < 2 {
+		t.Fatalf("gates.json asserts %d fleet-slo gates, want one per scenario", len(sloGates))
+	}
+	for _, g := range sloGates {
+		if g.MinRatio <= 1 {
+			t.Errorf("fleet-slo gate %v has no absolute floor above 1x (min_ratio=%v)", g, g.MinRatio)
+		}
+	}
+
+	benchData, err := os.ReadFile(filepath.Join("..", "..", "bench", "baseline", "BENCH_fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base BenchDoc
+	if err := json.Unmarshal(benchData, &base); err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]BenchDoc{"fleet": base}
+	for _, r := range CompareGates(gates, docs, docs, 0.15) {
+		if r.Failed {
+			t.Errorf("committed baseline fails its own gate %v: %s", r.Gate, r.Reason)
+		}
+	}
+
+	// Inject the regression: attained falls back to the base offered load
+	// (the service can no longer carry anything beyond its design point).
+	broken := base
+	broken.Tables = make([]BenchTable, len(base.Tables))
+	copy(broken.Tables, base.Tables)
+	for i := range broken.Tables {
+		tbl := &broken.Tables[i]
+		if tbl.ID != "fleet-slo" {
+			continue
+		}
+		basis := make(map[string]float64)
+		for _, p := range tbl.Points {
+			if p.Series == "base" {
+				basis[p.Label] = p.Y
+			}
+		}
+		pts := make([]BenchPoint, len(tbl.Points))
+		copy(pts, tbl.Points)
+		for j := range pts {
+			if pts[j].Series == "attained" {
+				pts[j].Y = basis[pts[j].Label]
+			}
+		}
+		tbl.Points = pts
+	}
+	for _, r := range CompareGates(sloGates, docs, map[string]BenchDoc{"fleet": broken}, 0.15) {
+		if !r.Failed {
+			t.Errorf("attained collapsed to 1.0x base yet passed gate %v (current %.2fx)", r.Gate, r.Current)
+		}
+		if r.Missing {
+			t.Errorf("injected regression misclassified as missing data: %v", r.Gate)
+		}
+	}
+}
+
 func TestParseGates(t *testing.T) {
 	gates, err := ParseGates([]byte(`{"gates":[{"experiment":"skew","table":"skew","x":"16","series":"placement-load","against":"placement"}]}`))
 	if err != nil {

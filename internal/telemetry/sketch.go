@@ -43,6 +43,7 @@ const (
 type Sketch struct {
 	buckets [nBuckets]uint32
 	count   int64
+	max     int64
 }
 
 // bucketOf maps a value to its bucket index.
@@ -77,10 +78,18 @@ func valueOf(idx int) int64 {
 func (s *Sketch) Add(v int64) {
 	s.buckets[bucketOf(v)]++
 	s.count++
+	if v > s.max {
+		s.max = v
+	}
 }
 
 // Count returns the number of recorded values.
 func (s *Sketch) Count() int64 { return s.count }
+
+// Max returns the largest value recorded, exactly (quantiles are bucket
+// midpoints, but the worst observation — the number an SLO report quotes
+// as "max latency" — must not be rounded). Zero when empty.
+func (s *Sketch) Max() int64 { return s.max }
 
 // Merge adds every count of other into s. Addition is commutative, so the
 // merged sketch is independent of shard order — the property the shard-
@@ -90,12 +99,16 @@ func (s *Sketch) Merge(other *Sketch) {
 		s.buckets[i] += c
 	}
 	s.count += other.count
+	if other.max > s.max {
+		s.max = other.max
+	}
 }
 
 // Reset clears the sketch for window reuse without releasing its storage.
 func (s *Sketch) Reset() {
 	s.buckets = [nBuckets]uint32{}
 	s.count = 0
+	s.max = 0
 }
 
 // Quantile returns the nearest-rank q-quantile (q in [0,1]) as the

@@ -389,3 +389,38 @@ func TestTelemetryZeroAlloc(t *testing.T) {
 		t.Errorf("digest read views allocate %.1f/op, want 0", n)
 	}
 }
+
+// TestSketchMax pins the exact-maximum tracking: Max returns the largest
+// value ever added — exactly, not the log-bucket midpoint Quantile would
+// round it to — and survives Merge and Reset.
+func TestSketchMax(t *testing.T) {
+	var sk Sketch
+	if sk.Max() != 0 {
+		t.Fatalf("empty sketch Max = %d, want 0", sk.Max())
+	}
+	for _, v := range []int64{100, 99_999, 7} {
+		sk.Add(v)
+	}
+	if sk.Max() != 99_999 {
+		t.Fatalf("Max = %d, want exact 99999", sk.Max())
+	}
+
+	var other Sketch
+	other.Add(1_234_567)
+	sk.Merge(&other)
+	if sk.Max() != 1_234_567 {
+		t.Fatalf("merged Max = %d, want 1234567", sk.Max())
+	}
+	// Merging a smaller-max sketch must not lower it.
+	var small Sketch
+	small.Add(3)
+	sk.Merge(&small)
+	if sk.Max() != 1_234_567 {
+		t.Fatalf("Max lowered by smaller merge: %d", sk.Max())
+	}
+
+	sk.Reset()
+	if sk.Max() != 0 || sk.Count() != 0 {
+		t.Fatalf("Reset left max=%d count=%d", sk.Max(), sk.Count())
+	}
+}
