@@ -22,12 +22,17 @@ type Completion struct {
 	intr *intrDelivery
 
 	// onDone, when set, runs after the record is written and waiters are
-	// woken, passing back the tag stamped at submission. The sharded
-	// submission plane uses it for completion accounting: the hook is one
-	// function stored per plane, so arming it costs two word writes and no
-	// per-operation closure.
-	onDone    func(tag uint64)
+	// woken, passing back the completion and the tag stamped at
+	// submission. The sharded submission plane uses it for completion
+	// accounting and fault retries: the hook is one function stored per
+	// plane, so arming it costs two word writes and no per-operation
+	// closure.
+	onDone    func(c *Completion, tag uint64)
 	onDoneTag uint64
+
+	// desc is the submitted descriptor, kept so completion hooks can
+	// rebuild a remainder submission after a partial completion.
+	desc Descriptor
 
 	// Timeline instants (virtual time).
 	SubmitTime   sim.Time
@@ -49,16 +54,19 @@ func (c *Completion) complete(rec CompletionRecord) {
 		c.coal.observe(c)
 	}
 	if c.onDone != nil {
-		c.onDone(c.onDoneTag)
+		c.onDone(c, c.onDoneTag)
 	}
 }
 
-// SetOnDone arms the completion hook: fn(tag) runs when the record is
+// SetOnDone arms the completion hook: fn(c, tag) runs when the record is
 // written, after waiters are woken and the interrupt moderation window has
 // observed the record.
-func (c *Completion) SetOnDone(fn func(tag uint64), tag uint64) {
+func (c *Completion) SetOnDone(fn func(c *Completion, tag uint64), tag uint64) {
 	c.onDone, c.onDoneTag = fn, tag
 }
+
+// Desc returns the descriptor this completion was created for.
+func (c *Completion) Desc() *Descriptor { return &c.desc }
 
 // Done reports whether the completion record has been written.
 func (c *Completion) Done() bool { return c.done }

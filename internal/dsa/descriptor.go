@@ -171,6 +171,13 @@ const (
 	// StatusError is a catch-all for invalid descriptors (bad addresses,
 	// misaligned sizes).
 	StatusError
+	// StatusWQError reports that the accepting work queue was disabled
+	// while the descriptor was still queued; the descriptor was never
+	// dispatched to an engine.
+	StatusWQError
+	// StatusDeviceOffline reports that the whole device went offline with
+	// the descriptor still queued.
+	StatusDeviceOffline
 )
 
 // String returns the status name.
@@ -192,6 +199,10 @@ func (s Status) String() string {
 		return "dif_error"
 	case StatusError:
 		return "error"
+	case StatusWQError:
+		return "wq_error"
+	case StatusDeviceOffline:
+		return "device_offline"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}

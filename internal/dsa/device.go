@@ -2,6 +2,7 @@ package dsa
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dsasim/internal/mem"
 	"dsasim/internal/sim"
@@ -71,6 +72,12 @@ type Device struct {
 	// for the streaming-telemetry subsystem (see probe.go).
 	probe Probe
 
+	// faults, when armed, injects deterministic page faults, WQ disable
+	// windows, and outages (see fault.go). offline is the outage flag,
+	// atomic because host-parallel submission paths read it.
+	faults  *FaultInjector
+	offline atomic.Bool
+
 	stats DeviceStats
 }
 
@@ -92,6 +99,9 @@ type DeviceStats struct {
 	BytesRead      int64 // inbound traffic
 	BytesWritten   int64 // outbound traffic
 	DDIOLeaked     int64 // destination bytes that overflowed the DDIO ways
+	InjectedFaults int64 // synthetic page faults taken from the injector
+	WQDisables     int64 // WQ disable windows entered
+	Outages        int64 // device outage windows entered
 }
 
 // New creates a device on system sys. The device starts unconfigured: add

@@ -151,6 +151,26 @@ func (eng *Engine) execute(wk *work) {
 		}
 	}
 
+	// Synthetic faults from the injector, resolved exactly like real ones:
+	// block-on-fault stalls the engine for the OS round trip; otherwise
+	// the device reports a partial completion after the fault-report cost.
+	if !faulted && d.faults != nil {
+		if off, hit := d.faults.roll(&wk.d, now); hit {
+			d.stats.PageFaults++
+			d.stats.InjectedFaults++
+			if wk.d.Flags&FlagBlockOnFault != 0 {
+				faultDelay += d.Sys.IOMMU.FaultLat()
+			} else {
+				faulted = true
+				upTo = off
+				if len(spans) > 0 {
+					faultAddr = spans[0].addr + mem.Addr(off)
+				}
+				faultDelay += t.FaultReport
+			}
+		}
+	}
+
 	frontEnd := issue + trans + faultDelay
 	dataStart := now + frontEnd
 
@@ -333,6 +353,12 @@ type batchState struct {
 	completed int
 	succeeded int
 	failed    bool
+	// poisoned marks a fence reached after an earlier child failed: the
+	// remaining children are never attempted (their records stay
+	// StatusNone) and the parent completes as soon as the issued children
+	// drain. This is how a fused pipeline chain stops feeding garbage to
+	// downstream stages.
+	poisoned bool
 }
 
 // executeBatch models the batch processing unit: fetch the descriptor array
@@ -373,13 +399,20 @@ func (eng *Engine) executeBatch(wk *work) {
 }
 
 // issueReady queues children up to (and including) the next fence barrier.
-// Children after a fence wait until everything issued so far completes.
+// Children after a fence wait until everything issued so far completes; a
+// fence reached after a failure poisons the remainder of the batch.
 func (bs *batchState) issueReady() {
 	g := bs.eng.group
 	for bs.nextIssue < len(bs.children) {
 		child := bs.children[bs.nextIssue]
-		if child.Flags&FlagFence != 0 && bs.completed < bs.nextIssue {
-			return // barrier: wait for earlier children
+		if child.Flags&FlagFence != 0 {
+			if bs.completed < bs.nextIssue {
+				return // barrier: wait for earlier children
+			}
+			if bs.failed {
+				bs.poisoned = true
+				return
+			}
 		}
 		child.PASID = bs.wk.d.PASID
 		cw := &work{
@@ -409,12 +442,17 @@ func (bs *batchState) childDone(idx int, rec CompletionRecord) {
 		bs.failed = true
 	}
 	g := bs.eng.group
-	if bs.nextIssue < len(bs.children) {
-		bs.issueReady()
-		g.dispatch()
-		return
+	if !bs.poisoned && bs.nextIssue < len(bs.children) {
+		bs.issueReady() // may poison at a fence after a failed child
+		if !bs.poisoned {
+			g.dispatch()
+			return
+		}
 	}
-	if bs.completed == len(bs.children) {
+	if bs.completed < bs.nextIssue {
+		return // issued children still in flight
+	}
+	if bs.poisoned || bs.completed == len(bs.children) {
 		d := g.Dev
 		status := StatusSuccess
 		if bs.failed {

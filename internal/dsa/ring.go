@@ -134,3 +134,14 @@ func (w *WQ) Ring() *SubmitRing { return w.ring }
 // its own (tenant churn retires planes with their tenants). The caller
 // owns the single-consumer side and must have drained the ring first.
 func (w *WQ) DetachRing() { w.ring = nil }
+
+// ReattachRing re-installs a previously detached ring: the plane's drain
+// failover detaches a dead WQ's ring and re-installs the same ring object
+// when the queue heals, so lanes holding the ring pointer resume feeding
+// it. Panics if a ring is already attached.
+func (w *WQ) ReattachRing(r *SubmitRing) {
+	if w.ring != nil {
+		panic(fmt.Sprintf("dsa: wq %d of %s already has a submission ring", w.ID, w.Dev.Cfg.Name))
+	}
+	w.ring = r
+}

@@ -1,6 +1,7 @@
 package dsa
 
 import (
+	"bytes"
 	"runtime"
 	"sync"
 	"testing"
@@ -116,6 +117,53 @@ func TestSubmitRingZeroAlloc(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("push+pop allocated %.1f times per run, want 0", n)
 	}
+}
+
+// FuzzSubmitRing model-checks the ring against a reference FIFO: each
+// script byte drives one operation (low bit selects push vs pop), and
+// every observable — push/pop success, payload, tag, Len — must match
+// the model exactly, including across arbitrarily many wrap-arounds of
+// a tiny ring. The fuzzer owns the schedule; the model owns the truth.
+func FuzzSubmitRing(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 0, 2, 1, 0, 3, 1, 1})
+	f.Add(uint8(1), bytes.Repeat([]byte{0, 1}, 64)) // two-slot ring, many laps
+	f.Add(uint8(7), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add(uint8(0), []byte{1, 1, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, capacity uint8, script []byte) {
+		r := NewSubmitRing(int(capacity))
+		var model []RingEntry
+		seq := int64(0)
+		for i, op := range script {
+			if op&1 == 0 {
+				d := Descriptor{Op: OpMemmove, Size: seq + 1}
+				pushed := r.TryPush(d, uint64(seq))
+				if want := len(model) < r.Cap(); pushed != want {
+					t.Fatalf("op %d: TryPush = %v with %d/%d occupied, want %v",
+						i, pushed, len(model), r.Cap(), want)
+				}
+				if pushed {
+					model = append(model, RingEntry{D: d, Tag: uint64(seq)})
+					seq++
+				}
+			} else {
+				e, ok := r.Pop()
+				if want := len(model) > 0; ok != want {
+					t.Fatalf("op %d: Pop ok = %v with %d occupied, want %v", i, ok, len(model), want)
+				}
+				if ok {
+					head := model[0]
+					model = model[1:]
+					if e.D.Size != head.D.Size || e.Tag != head.Tag {
+						t.Fatalf("op %d: Pop = {Size %d, Tag %d}, want {Size %d, Tag %d} (lost, duplicated, or torn)",
+							i, e.D.Size, e.Tag, head.D.Size, head.Tag)
+					}
+				}
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("op %d: Len = %d, model holds %d", i, r.Len(), len(model))
+			}
+		}
+	})
 }
 
 func TestWQAttachRing(t *testing.T) {

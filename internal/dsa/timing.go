@@ -78,6 +78,11 @@ type Timing struct {
 	// sharded submission plane pays instead of the service mutex's hold
 	// time.
 	RingPush time.Duration
+	// FaultReport is the device-side cost of detecting a page fault and
+	// writing the partial completion record (block-on-fault clear). The
+	// block-on-fault alternative pays the full OS resolve round trip
+	// (IOMMU.FaultLat) instead — the §4.3 QoS hazard.
+	FaultReport time.Duration
 }
 
 // DefaultTiming returns the Sapphire Rapids DSA calibration.
@@ -100,6 +105,7 @@ func DefaultTiming() Timing {
 		IntrHandler:      600 * time.Nanosecond,
 		IntrCoalesceTick: 500 * time.Nanosecond,
 		RingPush:         15 * time.Nanosecond,
+		FaultReport:      500 * time.Nanosecond,
 	}
 }
 

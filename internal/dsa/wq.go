@@ -2,6 +2,7 @@ package dsa
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dsasim/internal/sim"
 )
@@ -59,6 +60,10 @@ type WQ struct {
 	// feeding this WQ's ENQCMD path (see SubmitRing / AttachRing).
 	ring *SubmitRing
 
+	// disabled marks a transient fault-injector disable window; atomic
+	// because host-parallel submission paths read it through Healthy.
+	disabled atomic.Bool
+
 	// statistics
 	submitted int64
 	maxOcc    int
@@ -84,6 +89,12 @@ func (w *WQ) Submit(d Descriptor) (*Completion, error) {
 	if !w.Dev.enabled {
 		return nil, fmt.Errorf("dsa: device %s not enabled", w.Dev.Cfg.Name)
 	}
+	if w.Dev.offline.Load() {
+		return nil, fmt.Errorf("dsa: %s: %w", w.Dev.Cfg.Name, ErrDeviceOffline)
+	}
+	if w.disabled.Load() {
+		return nil, fmt.Errorf("dsa: wq %d of %s: %w", w.ID, w.Dev.Cfg.Name, ErrWQDisabled)
+	}
 	if w.occupied >= w.Size {
 		w.Dev.stats.Retries++
 		return nil, ErrWQFull
@@ -99,6 +110,7 @@ func (w *WQ) Submit(d Descriptor) (*Completion, error) {
 	}
 	comp := newCompletion(w.Dev.E)
 	comp.SubmitTime = w.Dev.E.Now()
+	comp.desc = d
 	wk := &work{d: d, comp: comp, wq: w, enqueued: w.Dev.E.Now()}
 	w.occupied++
 	if w.occupied > w.maxOcc {

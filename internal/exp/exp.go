@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"contention", "Sharded submission plane: Submit/Wait scaling vs submitters", Contention},
 		{"pipeline", "Operation pipelines: fused multi-op DAGs vs per-stage submission (§4/§6)", Pipeline},
 		{"fleet", "Fleet-scale service scenarios: SLO-attained throughput under phased open-loop load", Fleet},
+		{"chaos", "Chaos: SLO-attained throughput and recovery time under injected faults", Chaos},
 	}
 }
 

@@ -73,6 +73,10 @@ type driver struct {
 	// retired holds churned-out tenants so their SLO counters are
 	// harvested at the end, after late futures resolve.
 	retired []*offload.Tenant
+
+	// win tracks windowed per-class latency for the recovery metric;
+	// non-nil only when the scenario arms a fault plan.
+	win *winTrack
 }
 
 // Run executes one scenario and returns its measurement. A fixed
@@ -89,8 +93,16 @@ func Run(sc Scenario) Result {
 }
 
 func newDriver(sc Scenario) *driver {
-	e, svc := fleetRig()
+	e, svc, devs := fleetRig()
 	d := &driver{sc: sc, e: e, svc: svc}
+	if sc.Faults != nil {
+		d.win = newWinTrack()
+		for di, dev := range devs {
+			if _, err := dev.InjectFaults(sc.Faults.config(sc.Seed, di)); err != nil {
+				panic(err)
+			}
+		}
+	}
 
 	front, err := svc.NewTenant(offload.OnSocket(0),
 		offload.WithClass(offload.Bulk), offload.TenantPolicy(frontPolicy(sc)))
@@ -153,10 +165,21 @@ func (d *driver) phaseAt(t sim.Time) int {
 
 // bgCompleted is the plane's completion observer: the stamp is the
 // scheduled arrival, so the stamped latency is already open-loop, and
-// the arrival instant (and with it the phase) is recovered from it.
-func (d *driver) bgCompleted(lat sim.Time) {
+// the arrival instant (and with it the phase) is recovered from it. ok
+// is false for terminal faults (retry budget spent, or shed during
+// failover redistribution) — those score as failures, not goodput.
+func (d *driver) bgCompleted(lat sim.Time, ok bool) {
 	arr := d.e.Now() - lat
-	d.acc[d.phaseAt(arr)][BG].record(lat, d.sc.BgSLO, false)
+	d.record(arr, BG, lat, d.sc.BgSLO, !ok)
+}
+
+// record scores one completion against its arrival's phase cell and, when
+// a fault plan is armed, the windowed recovery tracker.
+func (d *driver) record(arr sim.Time, cls Class, lat sim.Time, budget time.Duration, failed bool) {
+	d.acc[d.phaseAt(arr)][cls].record(lat, budget, failed)
+	if d.win != nil {
+		d.win.add(arr, cls, lat, failed)
+	}
 }
 
 // submitter drives one shard's open-loop arrival schedule through every
@@ -335,7 +358,7 @@ func (d *driver) reaper(s int) func(p *sim.Proc) {
 				budget = d.sc.BgSLO
 			}
 			for _, arr := range it.arrs {
-				d.acc[d.phaseAt(arr)][it.cls].record(end-arr, budget, err != nil)
+				d.record(arr, it.cls, end-arr, budget, err != nil)
 			}
 		}
 	}
@@ -353,6 +376,7 @@ func (d *driver) result() Result {
 			ps.Offered[c] = float64(a.arrivals) / durS / 1e3
 			ps.Goodput[c] = float64(a.good) / durS / 1e3
 			ps.Shed[c] = a.shed
+			ps.Failed[c] = a.failed
 			if a.done > 0 {
 				ps.P99[c] = time.Duration(a.lat.Quantile(0.99))
 				ps.P999[c] = time.Duration(a.lat.Quantile(0.999))
@@ -365,6 +389,10 @@ func (d *driver) result() Result {
 		st := tn.Stats()
 		res.SLOOk += st.SLOOk
 		res.SLOMiss += st.SLOMiss
+		res.Faults += st.Faults
+		res.Retries += st.Retries
+		res.Fallbacks += st.Fallbacks
+		res.Failovers += st.Failovers
 	}
 	tally(d.front)
 	for _, ft := range d.fg {
@@ -372,6 +400,10 @@ func (d *driver) result() Result {
 	}
 	for _, tn := range d.retired {
 		tally(tn)
+	}
+	if d.win != nil {
+		res.RecoveryWindows, res.Recovered =
+			d.win.recoveredAfter(d.sc.Faults.injectEnd(), d.sc.FgSLO, d.sc.BgSLO)
 	}
 	return res
 }

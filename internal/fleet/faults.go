@@ -1,0 +1,145 @@
+// Chaos machinery: the fault plan a scenario injects and the windowed
+// recovery tracker that measures how long the fleet takes to pull its
+// tails back inside budget after the injected failures end.
+package fleet
+
+import (
+	"time"
+
+	"dsasim/internal/dsa"
+	"dsasim/internal/sim"
+	"dsasim/internal/telemetry"
+)
+
+// FaultPlan is a scenario's injected-failure schedule, expressed in
+// durations from run start so Scenario.Scaled can shrink it with the
+// phases. The driver arms one dsa.FaultInjector per device from it,
+// seeded off the scenario seed, so a given (scenario, plan) reproduces
+// the exact fault sequence run after run.
+type FaultPlan struct {
+	// PageFaultPer4K is the steady per-4KB-page probability that a page a
+	// descriptor touches is unmapped (dsa.FaultConfig.PageFaultPer4K).
+	PageFaultPer4K float64
+
+	// Burst elevates the per-page probability by BurstPer4K inside
+	// [BurstAt, BurstAt+BurstDur) — the cold-page storm phase.
+	BurstPer4K float64
+	BurstAt    time.Duration
+	BurstDur   time.Duration
+
+	// Outage takes one whole device offline for [OutageAt,
+	// OutageAt+OutageDur): submissions to it fail, queued descriptors
+	// complete with StatusDeviceOffline, and the plane/scheduler paths
+	// must fail over to the surviving socket. OutageDev indexes the
+	// rig's devices (one per socket).
+	OutageDev int
+	OutageAt  time.Duration
+	OutageDur time.Duration
+
+	// Disable is a transient single-WQ disable window on device
+	// DisableDev, queue index DisableWQ — the partial-failure case where
+	// the device survives but one queue dies under the scheduler.
+	DisableDev int
+	DisableWQ  int
+	DisableAt  time.Duration
+	DisableDur time.Duration
+}
+
+// scaled returns the plan with every instant and window multiplied by f,
+// matching Scenario.Scaled's treatment of phase durations.
+func (fp *FaultPlan) scaled(f float64) *FaultPlan {
+	out := *fp
+	s := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	out.BurstAt, out.BurstDur = s(fp.BurstAt), s(fp.BurstDur)
+	out.OutageAt, out.OutageDur = s(fp.OutageAt), s(fp.OutageDur)
+	out.DisableAt, out.DisableDur = s(fp.DisableAt), s(fp.DisableDur)
+	return &out
+}
+
+// injectEnd returns the instant the last scheduled failure window closes
+// — where recovery measurement starts. Steady background page faults
+// (PageFaultPer4K) keep running; recovery means the service holds its
+// tails under that steady fault rate again.
+func (fp *FaultPlan) injectEnd() sim.Time {
+	end := fp.BurstAt + fp.BurstDur
+	if e := fp.OutageAt + fp.OutageDur; e > end {
+		end = e
+	}
+	if e := fp.DisableAt + fp.DisableDur; e > end {
+		end = e
+	}
+	return sim.Time(end)
+}
+
+// config assembles the dsa.FaultConfig for device dev (index into the
+// rig's per-socket devices), seeded per device off the scenario seed.
+func (fp *FaultPlan) config(seed uint64, dev int) dsa.FaultConfig {
+	cfg := dsa.FaultConfig{
+		Seed:           seed ^ 0xFA017CA05<<uint(dev) ^ uint64(dev+1)*0x9E3779B97F4A7C15,
+		PageFaultPer4K: fp.PageFaultPer4K,
+	}
+	if fp.BurstDur > 0 {
+		cfg.Bursts = []dsa.FaultBurst{{
+			At: sim.Time(fp.BurstAt), Dur: sim.Time(fp.BurstDur), Per4K: fp.BurstPer4K,
+		}}
+	}
+	if fp.OutageDur > 0 && fp.OutageDev == dev {
+		cfg.Outages = []dsa.Outage{{At: sim.Time(fp.OutageAt), Dur: sim.Time(fp.OutageDur)}}
+	}
+	if fp.DisableDur > 0 && fp.DisableDev == dev {
+		cfg.WQDisables = []dsa.WQDisable{{
+			WQ: fp.DisableWQ, At: sim.Time(fp.DisableAt), Dur: sim.Time(fp.DisableDur),
+		}}
+	}
+	return cfg
+}
+
+// recoveryWindow is the tracker's bucketing granularity: fine enough to
+// resolve recovery within a few-millisecond run, coarse enough that each
+// window's p99 rests on hundreds of completions at fleet rates.
+const recoveryWindow = 250 * time.Microsecond
+
+// winTrack buckets per-class open-loop latencies by arrival window so
+// the run can be scored for recovery time afterwards. Only armed when
+// the scenario injects faults; the fault-free paths never touch it.
+type winTrack struct {
+	win  sim.Time
+	lat  [][nClasses]telemetry.Sketch
+	fail [][nClasses]int64
+}
+
+func newWinTrack() *winTrack { return &winTrack{win: sim.Time(recoveryWindow)} }
+
+// add records one completion under its arrival's window.
+func (w *winTrack) add(arr sim.Time, cls Class, lat sim.Time, failed bool) {
+	i := int(arr / w.win)
+	for len(w.lat) <= i {
+		w.lat = append(w.lat, [nClasses]telemetry.Sketch{})
+		w.fail = append(w.fail, [nClasses]int64{})
+	}
+	w.lat[i][cls].Add(int64(lat))
+	if failed {
+		w.fail[i][cls]++
+	}
+}
+
+// recoveredAfter counts the windows past `from` until the service holds
+// both classes' p99 inside budget with no terminal failures — the
+// recovery time in windows. A window with no completions counts as
+// recovered (nothing missed its budget). Returns the window count and
+// whether recovery was observed before the run ended.
+func (w *winTrack) recoveredAfter(from sim.Time, fg, bg time.Duration) (int, bool) {
+	start := int(from / w.win)
+	if from%w.win != 0 {
+		start++ // partial window still contains injected-fault arrivals
+	}
+	for i := start; i < len(w.lat); i++ {
+		cell := &w.lat[i]
+		if w.fail[i][FG] == 0 && w.fail[i][BG] == 0 &&
+			cell[FG].Quantile(0.99) <= int64(sim.Time(fg)) &&
+			cell[BG].Quantile(0.99) <= int64(sim.Time(bg)) {
+			return i - start, true
+		}
+	}
+	return len(w.lat) - start, false
+}

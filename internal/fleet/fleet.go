@@ -135,6 +135,17 @@ type Scenario struct {
 	// SLO (walked from below; the first failing step stops the ramp).
 	Ramp    []float64
 	RampDur time.Duration
+
+	// Faults, when non-nil, arms every device's fault injector with this
+	// plan (times relative to run start; Scaled scales them with the
+	// phases) and enables the default retry/failover policy knobs — the
+	// chaos scenarios measure what the recovery plane preserves.
+	Faults *FaultPlan
+
+	// DefuseRecovery zeroes the retry and fallback knobs while keeping
+	// the fault plan armed: the chaos gate's negative control, proving
+	// the recovery machinery (not luck) is what passes the SLO floor.
+	DefuseRecovery bool
 }
 
 // Scaled returns a copy with every duration (phases and ramp steps)
@@ -153,6 +164,9 @@ func (sc Scenario) Scaled(f float64) Scenario {
 	if c := int(float64(sc.Conns) * f); c > 0 {
 		out.Conns = c
 	}
+	if sc.Faults != nil {
+		out.Faults = sc.Faults.scaled(f)
+	}
 	return out
 }
 
@@ -167,6 +181,7 @@ type PhaseStats struct {
 	Offered [nClasses]float64 // scheduled arrivals / phase duration
 	Goodput [nClasses]float64 // completions within the class SLO / duration
 	Shed    [nClasses]int64   // arrivals shed by admission or full rings
+	Failed  [nClasses]int64   // terminal faults past the retry budget
 
 	P99  [nClasses]time.Duration
 	P999 [nClasses]time.Duration
@@ -183,6 +198,18 @@ type Result struct {
 	// foreground population — the cross-check that the driver's sketches
 	// and the stack's accounting agree on what was served in budget.
 	SLOOk, SLOMiss int64
+
+	// Fault-recovery totals across the frontend and foreground
+	// population (zero without an armed fault plan).
+	Faults, Retries, Fallbacks, Failovers int64
+
+	// RecoveryWindows is how many recoveryWindow buckets after the fault
+	// plan's last scheduled failure window the fleet needed before both
+	// classes' windowed p99 sat inside budget again with no terminal
+	// failures; Recovered is false when the run ended first. Zero-valued
+	// without an armed fault plan.
+	RecoveryWindows int
+	Recovered       bool
 }
 
 // classAcc accumulates one (phase, class) cell during a run.
@@ -191,14 +218,22 @@ type classAcc struct {
 	done     int64
 	good     int64
 	shed     int64
+	failed   int64
 	lat      telemetry.Sketch // open-loop latency, ns
 }
 
-// record scores one completion against the class budget.
+// record scores one completion against the class budget. failed marks an
+// operation that resolved with a terminal error (fault past the retry
+// budget): it counts toward done and the latency sketch but never toward
+// goodput, and meetsSLO holds failures to the same ceiling as sheds.
 func (a *classAcc) record(lat sim.Time, budget time.Duration, failed bool) {
 	a.done++
 	a.lat.Add(int64(lat))
-	if !failed && lat <= sim.Time(budget) {
+	if failed {
+		a.failed++
+		return
+	}
+	if lat <= sim.Time(budget) {
 		a.good++
 	}
 }

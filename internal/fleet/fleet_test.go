@@ -76,6 +76,40 @@ func TestSameSeedSameTables(t *testing.T) {
 	}
 }
 
+// TestChaosScenarioFaultRecovery pins the chaos phase run's contract at
+// test scale: fault injection is seed-deterministic (same seed, same
+// result, bit for bit), the armed default recovery policy does real work
+// absorbing the plan, the tails come home inside the run, and defusing
+// recovery demonstrably surfaces terminal failures the armed run
+// avoids. Matched by CI's fault-recovery -race pass.
+func TestChaosScenarioFaultRecovery(t *testing.T) {
+	sc := Chaos().Scaled(testScale)
+	a := Run(sc)
+	b := Run(sc)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: same seed produced different results:\n%+v\n%+v", sc.Name, a, b)
+	}
+	if a.Faults == 0 || a.Retries == 0 {
+		t.Fatalf("faults=%d retries=%d, want both nonzero under the fault plan", a.Faults, a.Retries)
+	}
+	if !a.Recovered {
+		t.Errorf("armed run never recovered (spent %d windows)", a.RecoveryWindows)
+	}
+	failed := func(r Result) int64 {
+		var n int64
+		for _, ph := range r.Phases {
+			n += ph.Failed[FG] + ph.Failed[BG]
+		}
+		return n
+	}
+	df := sc
+	df.DefuseRecovery = true
+	d := Run(df)
+	if af, dfN := failed(a), failed(d); dfN <= af {
+		t.Errorf("defused run failed %d ops vs armed %d: recovery is not what absorbs the plan", dfN, af)
+	}
+}
+
 func TestCalibrationProbe(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration probe")

@@ -60,7 +60,10 @@ func meetsSLO(r *Result, sc Scenario) bool {
 	durS := sc.RampDur.Seconds()
 	for c := Class(0); c < nClasses; c++ {
 		arrivals := ph.Offered[c] * durS * 1e3
-		if arrivals > 0 && float64(ph.Shed[c]) > shedCeil*arrivals {
+		// Terminal faults are held to the same ceiling as sheds: an
+		// operation the service lost past its retry budget is no more
+		// attained than one it refused.
+		if arrivals > 0 && float64(ph.Shed[c]+ph.Failed[c]) > shedCeil*arrivals {
 			return false
 		}
 	}

@@ -32,10 +32,11 @@ func fleetSystem(e *sim.Engine) *mem.System {
 // QoS layout, downsized to two engines so the overload phases actually
 // exceed capacity within a tractable event budget), behind the
 // placement-qos scheduler. Returns the engine and service.
-func fleetRig() (*sim.Engine, *offload.Service) {
+func fleetRig() (*sim.Engine, *offload.Service, []*dsa.Device) {
 	e := sim.New()
 	sys := fleetSystem(e)
 	var wqs []*dsa.WQ
+	var devs []*dsa.Device
 	for socket := 0; socket < 2; socket++ {
 		dev := dsa.New(e, sys, dsa.DefaultConfig(fmt.Sprintf("dsa%d", socket), socket))
 		if _, err := dev.AddGroup(dsa.GroupConfig{
@@ -52,13 +53,14 @@ func fleetRig() (*sim.Engine, *offload.Service) {
 			panic(err)
 		}
 		wqs = append(wqs, dev.WQs()...)
+		devs = append(devs, dev)
 	}
 	svc, err := offload.NewService(e, sys, wqs,
 		offload.WithScheduler(offload.NewPlacementQoS()), offload.WithCPUModel(cpu.SPRModel()))
 	if err != nil {
 		panic(err)
 	}
-	return e, svc
+	return e, svc, devs
 }
 
 // frontPolicy is the background data plane's policy: telemetry-driven
@@ -79,7 +81,20 @@ func frontPolicy(sc Scenario) offload.Policy {
 	pol.AdmitWait = false
 	pol.MaxRetries = 2
 	pol.SLOBudget = sc.BgSLO
+	armRecovery(&pol, sc)
 	return pol
+}
+
+// armRecovery turns on the default fault-recovery knobs when the
+// scenario injects faults — unless it is the defused negative control,
+// which keeps the fault plan armed but recovery off so the chaos gate
+// can prove the recovery machinery is what preserves the SLO floor.
+func armRecovery(pol *offload.Policy, sc Scenario) {
+	if sc.Faults == nil || sc.DefuseRecovery {
+		return
+	}
+	pol.RetryMax = 2
+	pol.FallbackAfter = 3
 }
 
 // fgPolicy is a foreground tenant's policy: per-descriptor interrupt
@@ -90,6 +105,7 @@ func fgPolicy(sc Scenario) offload.Policy {
 	pol.LoadAware = true
 	pol.Wait = offload.Interrupt
 	pol.SLOBudget = sc.FgSLO
+	armRecovery(&pol, sc)
 	return pol
 }
 

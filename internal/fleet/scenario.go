@@ -98,6 +98,45 @@ func Msgbroker() Scenario {
 	}
 }
 
+// Chaos is the packet switch under injected failures: a steady trickle
+// of page faults (cold destination pages), a cold-page storm, a
+// transient express-WQ disable on socket 0 overlapping the storm, and a
+// full outage of socket 1's device. The plan fits inside one RampDur so
+// every SLO-attained ramp step experiences the complete fault sequence;
+// in the phase run the injection ends early and the recovery tracker
+// measures how long the tails take to come home. The default
+// retry/fallback/failover policy is armed (DefuseRecovery is the
+// negative control), and the chaos experiment gates on how much of the
+// fault-free SLO-attained throughput survives. Not part of Scenarios():
+// the fault-free tables stay fault-free.
+func Chaos() Scenario {
+	sc := Packetswitch()
+	sc.Name = "chaos-fleet"
+	sc.Seed = 0xC4A0_5EED
+	sc.Faults = &FaultPlan{
+		PageFaultPer4K: 0.0004,
+
+		BurstPer4K: 0.02,
+		BurstAt:    500 * time.Microsecond,
+		BurstDur:   1 * time.Millisecond,
+
+		// Express-WQ disable on socket 1: the foreground tenants homed
+		// there reroute through the bulk queue or across UPI.
+		DisableDev: 1,
+		DisableWQ:  0,
+		DisableAt:  1 * time.Millisecond,
+		DisableDur: 800 * time.Microsecond,
+
+		// Whole-device outage on socket 0 — the background plane's home
+		// socket, so every lane and the drain must fail over cross-socket
+		// onto device 1's rings and back when it heals.
+		OutageDev: 0,
+		OutageAt:  1800 * time.Microsecond,
+		OutageDur: 1200 * time.Microsecond,
+	}
+	return sc
+}
+
 // Scenarios returns the shipped fleet scenarios in experiment order.
 func Scenarios() []Scenario {
 	return []Scenario{Packetswitch(), Msgbroker()}

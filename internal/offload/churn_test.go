@@ -8,6 +8,7 @@ package offload_test
 // with ErrTenantClosed.
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 	"time"
@@ -97,7 +98,7 @@ func TestPlaneCloseDetachesRingsForSuccessor(t *testing.T) {
 	src, dst := tn.Alloc(n), tn.Alloc(n)
 
 	var lats []sim.Time
-	pl.OnCompletion(func(lat sim.Time) { lats = append(lats, lat) })
+	pl.OnCompletion(func(lat sim.Time, ok bool) { lats = append(lats, lat) })
 
 	r.run(func(p *sim.Proc) {
 		lane := pl.Lane(0)
@@ -146,6 +147,109 @@ func TestPlaneCloseDetachesRingsForSuccessor(t *testing.T) {
 			t.Fatalf("successor NewPlane after Close: %v", err)
 		}
 	})
+}
+
+// Tenant retirement racing the recovery plane: one tenant closes while
+// its fused pipeline is mid-fault-retry inside a page-fault storm, and a
+// second tenant's submission plane rides a whole-device outage through
+// drain failover at the same instant. Close's contract must hold under
+// fire — the in-flight future stays waitable and resolves through the
+// retry, the failed-over plane drains fully, and every post-close
+// submission path still reports ErrTenantClosed. Under -race this is the
+// engine-domain/host-lane boundary exerciser for the fault plane.
+func TestCloseRacesFaultingPipelineWithFailover(t *testing.T) {
+	r := newRig(t, 2, dsa.WQConfig{Mode: dsa.Shared, Size: 16})
+	if _, err := r.devs[0].InjectFaults(dsa.FaultConfig{
+		Seed:    31,
+		Bursts:  []dsa.FaultBurst{{At: 0, Dur: sim.Time(4 * time.Microsecond), Per4K: 1}},
+		Outages: []dsa.Outage{{At: sim.Time(10 * time.Microsecond), Dur: sim.Time(60 * time.Microsecond)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	svc := r.service(t)
+	pol := offload.DefaultPolicy()
+	pol.RetryMax = 3
+	pol.RetryBackoff = 3 * time.Microsecond
+	ptn, err := svc.NewTenant(offload.TenantPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	btn, err := svc.NewTenant(offload.WithClass(offload.Bulk), offload.TenantPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(32 << 10)
+	psrc, pdst := ptn.Alloc(n), ptn.Alloc(n)
+	sim.NewRand(5).Bytes(psrc.Bytes())
+	big := int64(256 << 10)
+	bsrc, bdst := btn.Alloc(24*big), btn.Alloc(24*big)
+
+	pl := ptn.NewPipeline()
+	tmp := pl.Scratch(n)
+	s1 := pl.Copy(tmp, offload.At(psrc.Addr(0)), n)
+	pl.Copy(offload.At(pdst.Addr(0)), tmp, n, offload.After(s1))
+
+	plane, err := btn.NewPlane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done, failed int
+	plane.OnCompletion(func(lat sim.Time, ok bool) {
+		if ok {
+			done++
+		} else {
+			failed++
+		}
+	})
+
+	r.run(func(p *sim.Proc) {
+		// The chain submits into the storm: its first attempt faults and
+		// the retry is pending when Close lands.
+		f, err := pl.Submit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ptn.Close(p); err != nil {
+			t.Fatalf("Close with a faulting chain in flight: %v", err)
+		}
+		if _, err := pl.Submit(p); !errors.Is(err, offload.ErrTenantClosed) {
+			t.Fatalf("pipeline Submit after Close = %v, want ErrTenantClosed", err)
+		}
+		// Meanwhile the bulk tenant's plane runs head-on into the outage.
+		lane := plane.Lane(0)
+		for i := int64(0); i < 24; i++ {
+			if err := lane.SubmitStamped(p, dsa.Descriptor{
+				Op: dsa.OpMemmove, Src: bsrc.Addr(i * big), Dst: bdst.Addr(i * big), Size: big,
+			}, p.Now()); err != nil {
+				t.Fatalf("plane submit %d: %v", i, err)
+			}
+		}
+		// The closed tenant's future still resolves — through the retry.
+		if _, err := f.Wait(p, offload.Poll); err != nil {
+			t.Fatalf("closed tenant's in-flight chain: %v", err)
+		}
+		plane.WaitInflight(p, 0)
+		if err := btn.Close(p); err != nil {
+			t.Fatalf("bulk Close after failover drain: %v", err)
+		}
+		if err := lane.Submit(p, dsa.Descriptor{
+			Op: dsa.OpMemmove, Src: bsrc.Addr(0), Dst: bdst.Addr(0), Size: big,
+		}); !errors.Is(err, offload.ErrTenantClosed) {
+			t.Fatalf("lane Submit after Close = %v, want ErrTenantClosed", err)
+		}
+	})
+	if !bytes.Equal(pdst.Bytes(), psrc.Bytes()) {
+		t.Fatal("closed tenant's recovered chain is not byte-correct")
+	}
+	if st := ptn.Stats(); st.Retries == 0 {
+		t.Fatalf("pipeline tenant retries=%d, want nonzero (the storm covers attempt 1)", st.Retries)
+	}
+	if st := btn.Stats(); st.Failovers == 0 {
+		t.Fatalf("bulk tenant failovers=%d, want >=1", st.Failovers)
+	}
+	if done+failed != 24 {
+		t.Fatalf("plane accounted %d+%d completions, want 24", done, failed)
+	}
 }
 
 func TestSLOBudgetAccounting(t *testing.T) {

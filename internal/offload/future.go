@@ -43,6 +43,12 @@ type Future struct {
 	start sim.Time
 	ab    *AutoBatcher // non-nil while queued and unflushed
 
+	// d is the submitted descriptor (PASID and flags resolved), kept so
+	// fault recovery can re-submit the unfinished remainder. Only set on
+	// plain hardware futures built by Tenant.dispatch — the only futures
+	// recovery applies to.
+	d dsa.Descriptor
+
 	// sharedWait links futures that resolve from one completion record
 	// (coalesced batch siblings): the completion is physically observed —
 	// and its wait cost paid — once, by the first waiter, and a batch
@@ -129,6 +135,17 @@ func (f *Future) Wait(p *sim.Proc, mode WaitMode) (Result, error) {
 		f.cl.Wait(p, f.comp, mode)
 		if f.sharedWait != nil {
 			f.sharedWait.paid = true
+		}
+	}
+	// Fault recovery applies only to plain hardware futures: coalesced
+	// siblings resolve from a batch parent's record (their fault surfaces
+	// as BatchFail), and batch parents recover at the pipeline/batch
+	// layer. A fallback resolves the future directly; a successful retry
+	// swaps in the retried completion, which resolve() decodes below.
+	if f.t != nil && f.sharedWait == nil && f.op != dsa.OpBatch {
+		f.t.recover(p, f, mode)
+		if f.done {
+			return f.res, f.err
 		}
 	}
 	f.resolve(p.Now() - f.start)
@@ -238,6 +255,10 @@ func (f *Future) resolve(dur sim.Time) {
 	case dsa.StatusBatchFail:
 		countFailure()
 		f.err = fmt.Errorf("offload: batch completed %d descriptors before failing: %w", rec.Result, rec.Err)
+		return
+	case dsa.StatusPageFault, dsa.StatusWQError, dsa.StatusDeviceOffline:
+		countFailure()
+		f.err = faultError(rec)
 		return
 	default:
 		countFailure()

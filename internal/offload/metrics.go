@@ -29,6 +29,14 @@ type metrics struct {
 	wq   map[*dsa.WQ]wqStreams
 	sock []telemetry.ID // per-socket completion-latency streams
 	ten  map[int]*tenantStreams
+
+	// Service-wide fault-recovery event streams (one count per event, so
+	// the digests' windowed rates are faults/retries/fallbacks/failovers
+	// per second): the observability half of the failure plane.
+	faultID    telemetry.ID
+	retryID    telemetry.ID
+	fallbackID telemetry.ID
+	failoverID telemetry.ID
 }
 
 // wqStreams are one work queue's device-plane streams.
@@ -50,13 +58,25 @@ type tenantStreams struct {
 func newMetrics(e *sim.Engine) *metrics {
 	h := telemetry.NewHub(telemetry.DefaultWindow)
 	return &metrics{
-		e:   e,
-		hub: h,
-		dev: h.NewShard(),
-		wq:  make(map[*dsa.WQ]wqStreams),
-		ten: make(map[int]*tenantStreams),
+		e:          e,
+		hub:        h,
+		dev:        h.NewShard(),
+		wq:         make(map[*dsa.WQ]wqStreams),
+		ten:        make(map[int]*tenantStreams),
+		faultID:    h.Stream("service.faults"),
+		retryID:    h.Stream("service.retries"),
+		fallbackID: h.Stream("service.fallbacks"),
+		failoverID: h.Stream("service.failovers"),
 	}
 }
+
+// Fault-recovery event hooks. All run engine-side (device completion
+// events, the plane drain, Future recovery), so the shared dev shard is
+// safe to record through.
+func (m *metrics) fault()    { m.dev.Record(m.faultID, m.e.Now(), 1) }
+func (m *metrics) retry()    { m.dev.Record(m.retryID, m.e.Now(), 1) }
+func (m *metrics) fallback() { m.dev.Record(m.fallbackID, m.e.Now(), 1) }
+func (m *metrics) failover() { m.dev.Record(m.failoverID, m.e.Now(), 1) }
 
 // observe registers streams for newly added WQs (and their sockets) and
 // installs the probe on their devices. Idempotent per WQ, so hot-plugged

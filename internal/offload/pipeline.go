@@ -178,10 +178,21 @@ type Pipeline struct {
 
 	// home is the socket the last Submit placed the pipeline on.
 	home int
+
+	// failed is the index of the stage whose fault ended the last
+	// submission (-1 when the last run succeeded). Stages after it in a
+	// fenced chain were poisoned — never attempted — by the device's
+	// fence barrier.
+	failed int
 }
 
 // NewPipeline starts an empty pipeline DAG for the tenant.
-func (t *Tenant) NewPipeline() *Pipeline { return &Pipeline{t: t, home: -1} }
+func (t *Tenant) NewPipeline() *Pipeline { return &Pipeline{t: t, home: -1, failed: -1} }
+
+// FailedStage returns the index (declaration order) of the stage whose
+// fault ended the last submission, or -1 when it succeeded. Valid once
+// the submission's Future has resolved.
+func (pl *Pipeline) FailedStage() int { return pl.failed }
 
 // Scratch declares a size-byte intermediate buffer. It is allocated (from
 // the tenant's scratch pool) on the pipeline's chosen socket at Submit and
@@ -389,6 +400,7 @@ func (pl *Pipeline) Submit(p *sim.Proc) (*Future, error) {
 	for i := range pl.stages {
 		pl.stages[i].result = 0
 	}
+	pl.failed = -1
 	pl.buildOrder()
 	run := &pipeRun{}
 	f := &Future{t: t, run: run, op: dsa.OpBatch, start: p.Now()}
@@ -432,25 +444,48 @@ func (pl *Pipeline) drive(p *sim.Proc, run *pipeRun) {
 		if len(pl.chain) == 0 {
 			return nil
 		}
-		f, err := t.submitChainPinned(p, pl.chain, pl.home)
-		if err != nil {
-			return err
-		}
-		hardware = true
-		res, err := f.Wait(p, t.policy.Wait)
-		if err != nil {
-			return err
-		}
-		if len(pl.chainIdx) == 1 {
-			pl.stages[pl.chainIdx[0]].result = res.Record.Result
-		} else {
-			for k, rec := range res.Record.Children {
-				pl.stages[pl.chainIdx[k]].result = rec.Result
+		retries := 0
+		for {
+			f, err := t.submitChainPinned(p, pl.chain, pl.home)
+			if err != nil {
+				return err
 			}
+			hardware = true
+			res, err := f.Wait(p, t.policy.Wait)
+			if err != nil {
+				// A batch chain whose first failure is a recoverable fault
+				// is re-run whole within the retry budget: the chain's ops
+				// are idempotent by construction (they write scratch or
+				// their declared outputs), so re-running already-applied
+				// children is safe, and the fence barrier poisoned — never
+				// ran — everything past the fault. Lone-descriptor chains
+				// already recovered on the Future path; a surviving error
+				// there is terminal.
+				if k := firstFailedChild(&res.Record); k >= 0 &&
+					recoverableStatus(res.Record.Children[k].Status) && retries < t.policy.RetryMax {
+					retries++
+					t.stats.faults.Add(1)
+					t.S.met.fault()
+					t.stats.retries.Add(1)
+					t.S.met.retry()
+					if t.policy.RetryBackoff > 0 {
+						p.Sleep(sim.Time(t.policy.RetryBackoff))
+					}
+					continue
+				}
+				return pl.chainError(&res.Record, err)
+			}
+			if len(pl.chainIdx) == 1 {
+				pl.stages[pl.chainIdx[0]].result = res.Record.Result
+			} else {
+				for k, rec := range res.Record.Children {
+					pl.stages[pl.chainIdx[k]].result = rec.Result
+				}
+			}
+			pl.chain = pl.chain[:0]
+			pl.chainIdx = pl.chainIdx[:0]
+			return nil
 		}
-		pl.chain = pl.chain[:0]
-		pl.chainIdx = pl.chainIdx[:0]
-		return nil
 	}
 
 	for i := 0; i < len(pl.order); {
@@ -525,6 +560,44 @@ func (pl *Pipeline) drive(p *sim.Proc, run *pipeRun) {
 		return
 	}
 	finish(nil)
+}
+
+// firstFailedChild returns the index of the first child record that
+// completed with a failure status, or -1 (success, a non-batch record,
+// or only poisoned StatusNone children — the latter cannot happen: a
+// poisoned batch has a failed child before the fence).
+func firstFailedChild(rec *dsa.CompletionRecord) int {
+	for k := range rec.Children {
+		if s := rec.Children[k].Status; s != dsa.StatusSuccess && s != dsa.StatusNone {
+			return k
+		}
+	}
+	return -1
+}
+
+// chainError maps a failed chain wait onto the pipeline stage that
+// caused it, recording it in pl.failed and wrapping the error with the
+// stage identity. For a batch chain the failing stage is the first
+// failed child (later same-chain stages were poisoned by the fence and
+// hold StatusNone "never attempted" records); a lone-descriptor chain is
+// its only stage. The fault sentinels (ErrFaulted, ErrDeviceFailed)
+// stay in the chain via faultError, so errors.Is holds through the
+// pipeline Future.
+func (pl *Pipeline) chainError(rec *dsa.CompletionRecord, err error) error {
+	stage, cause := -1, err
+	if k := firstFailedChild(rec); k >= 0 && k < len(pl.chainIdx) {
+		stage = pl.chainIdx[k]
+		if ferr := faultError(rec.Children[k]); ferr != nil {
+			cause = ferr
+		}
+	} else if len(pl.chainIdx) == 1 {
+		stage = pl.chainIdx[0]
+	}
+	if stage < 0 {
+		return err
+	}
+	pl.failed = stage
+	return fmt.Errorf("offload: pipeline stage %d (%v): %w", stage, pl.stages[stage].d.Op, cause)
 }
 
 // submitChainPinned submits one compiled chain to the pipeline's socket:

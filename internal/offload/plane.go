@@ -25,6 +25,7 @@
 package offload
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -86,7 +87,14 @@ type Plane struct {
 	// onLat, when set, observes the stamped latency of every completion
 	// (see OnCompletion). Engine-domain: installed before traffic starts,
 	// invoked from the device completion path.
-	onLat func(lat sim.Time)
+	onLat func(lat sim.Time, ok bool)
+
+	// dead marks rings whose WQ died (disable window or device outage):
+	// the drain detached them from their WQs and redistributed their
+	// entries; lanes skip them until the drain observes the WQ healthy
+	// again and reattaches. Atomic because lanes read from host
+	// goroutines while the drain flips them engine-side.
+	dead []atomic.Bool
 
 	drainOn bool
 	lastPub sim.Time
@@ -137,6 +145,7 @@ func (t *Tenant) NewPlane(nlanes int) (*Plane, error) {
 		wqs:     wqs,
 		rings:   make([]*dsa.SubmitRing, len(wqs)),
 		ringTok: make([]*sim.Token, len(wqs)),
+		dead:    make([]atomic.Bool, len(wqs)),
 	}
 	for i, wq := range wqs {
 		pl.rings[i] = wq.AttachRing(wq.Size)
@@ -204,10 +213,12 @@ func (pl *Plane) WQs() []*dsa.WQ { return pl.wqs }
 // OnCompletion registers fn to observe the stamped latency of every plane
 // completion: the span from the submission's stamp (the submit instant,
 // or the caller-provided stamp of SubmitStamped) to the completion record
-// write. Install before traffic starts; the hook runs on the device
-// completion path, so it must not block. The fleet driver feeds its
-// per-class latency sketches from here.
-func (pl *Plane) OnCompletion(fn func(lat sim.Time)) { pl.onLat = fn }
+// write. ok reports whether the operation ultimately succeeded — false
+// means a terminal fault after the retry budget (the fleet driver scores
+// those against the SLO as failures, not goodput). Install before traffic
+// starts; the hook runs on the device completion path, so it must not
+// block.
+func (pl *Plane) OnCompletion(fn func(lat sim.Time, ok bool)) { pl.onLat = fn }
 
 // Pending returns entries pushed to rings but not yet WQ-accepted.
 func (pl *Plane) Pending() int64 { return pl.pending.Load() }
@@ -254,6 +265,12 @@ func (l *Lane) pickRing() int {
 	best, bestLoad := -1, int32(0)
 	for k := 0; k < n; k++ {
 		i := cands[(l.cursor+k)%n]
+		// Skip dead rings and unhealthy WQs (disable window, outage): the
+		// two flag loads keep the pick allocation-free while routing
+		// around failures the drain has or hasn't yet detached.
+		if l.pl.dead[i].Load() || !l.pl.wqs[i].Healthy() {
+			continue
+		}
 		load := int32(l.pl.rings[i].Len())
 		if snap != nil {
 			load += snap.Occ[i]
@@ -261,6 +278,27 @@ func (l *Lane) pickRing() int {
 		if best < 0 || load < bestLoad {
 			best, bestLoad = i, load
 		}
+	}
+	if best < 0 {
+		// Candidate pool down (disable window or outage): detour to any
+		// healthy service ring — cross-socket beats shedding.
+		for i := range l.pl.rings {
+			if l.pl.dead[i].Load() || !l.pl.wqs[i].Healthy() {
+				continue
+			}
+			load := int32(l.pl.rings[i].Len())
+			if snap != nil {
+				load += snap.Occ[i]
+			}
+			if best < 0 || load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+	}
+	if best < 0 {
+		// Everything is down: fall back to the plain rotation so the
+		// entry lands somewhere; the drain redistributes or sheds it.
+		best = cands[l.cursor%n]
 	}
 	l.cursor++
 	return best
@@ -294,7 +332,7 @@ func (l *Lane) TrySubmit(now sim.Time, d dsa.Descriptor) error {
 		}
 		pushed := false
 		for _, i := range cands {
-			if i != idx && l.pl.rings[i].TryPush(d, stamp) {
+			if i != idx && !l.pl.dead[i].Load() && l.pl.rings[i].TryPush(d, stamp) {
 				pushed = true
 				break
 			}
@@ -386,7 +424,11 @@ func (pl *Plane) ensureDrain() {
 // drain moves ring entries into the device WQs: pop, WQ.Submit (zero
 // virtual cost — the submitter already paid the portal write in its own
 // timeline), hook the completion for wakeup moderation. A full WQ holds
-// the popped entry and retries after a poll gap; the Snapshot
+// the popped entry and retries after a poll gap; a *dead* WQ (disable
+// window or device outage — Submit returns dsa.ErrWQDisabled or
+// dsa.ErrDeviceOffline, not ErrWQFull) triggers failover: the drain
+// detaches the dead ring and redistributes its entries to healthy rings,
+// then reattaches once the WQ reports healthy again. The Snapshot
 // republishes at the aggregation cadence; the process exits when the
 // rings run dry.
 func (pl *Plane) drain(p *sim.Proc) {
@@ -396,6 +438,18 @@ func (pl *Plane) drain(p *sim.Proc) {
 		progressed := false
 		blocked := false
 		for i := range pl.rings {
+			if pl.dead[i].Load() {
+				if pl.wqs[i].Healthy() {
+					// The WQ healed: reattach its ring and resume.
+					pl.wqs[i].ReattachRing(pl.rings[i])
+					pl.dead[i].Store(false)
+				} else {
+					// Sweep entries lanes raced into the dead ring while
+					// every candidate was down.
+					pl.sweepDead(i)
+					continue
+				}
+			}
 			for {
 				if !holding[i] {
 					e, ok := pl.rings[i].Pop()
@@ -406,7 +460,12 @@ func (pl *Plane) drain(p *sim.Proc) {
 				}
 				comp, err := pl.wqs[i].Submit(held[i].D)
 				if err != nil {
-					blocked = true
+					if errors.Is(err, dsa.ErrWQDisabled) || errors.Is(err, dsa.ErrDeviceOffline) {
+						pl.failover(i, held, holding)
+						progressed = true
+					} else {
+						blocked = true
+					}
 					break
 				}
 				comp.SetOnDone(pl.completed, held[i].Tag)
@@ -434,27 +493,158 @@ func (pl *Plane) drain(p *sim.Proc) {
 	}
 }
 
-// stampTag encodes a submission's latency stamp into the ring tag. The
-// +1 keeps tag 0 meaning "no stamp" even for a submission at virtual
-// time zero.
-func stampTag(at sim.Time) uint64 { return uint64(at) + 1 }
+// failover handles a dead WQ discovered by the drain: detach its ring so
+// a healed queue can reattach cleanly, mark it dead for the lanes, and
+// redistribute the held entry plus everything queued behind it onto
+// healthy rings. Entries with nowhere to go are shed (counted as
+// failures) rather than stranded behind a dead queue.
+func (pl *Plane) failover(i int, held []dsa.RingEntry, holding []bool) {
+	if !pl.dead[i].Load() {
+		pl.dead[i].Store(true)
+		pl.wqs[i].DetachRing()
+		pl.t.stats.failovers.Add(1)
+		pl.t.S.met.failover()
+	}
+	if holding[i] {
+		holding[i] = false
+		pl.redistribute(held[i])
+	}
+	pl.sweepDead(i)
+}
+
+// sweepDead drains a dead ring's entries onto healthy rings.
+func (pl *Plane) sweepDead(i int) {
+	for {
+		e, ok := pl.rings[i].Pop()
+		if !ok {
+			return
+		}
+		pl.redistribute(e)
+	}
+}
+
+// redistribute re-queues one failed-over entry onto the first healthy
+// candidate ring — falling back to any healthy service ring (a
+// cross-socket detour) when the class pool is down — and sheds it when
+// every ring is down or full.
+func (pl *Plane) redistribute(e dsa.RingEntry) {
+	cands := pl.bulkCand
+	if pl.t.class == LatencySensitive {
+		cands = pl.lsCand
+	}
+	for _, j := range cands {
+		if !pl.dead[j].Load() && pl.wqs[j].Healthy() && pl.rings[j].TryPush(e.D, e.Tag) {
+			return
+		}
+	}
+	for j := range pl.rings {
+		if !pl.dead[j].Load() && pl.wqs[j].Healthy() && pl.rings[j].TryPush(e.D, e.Tag) {
+			return
+		}
+	}
+	pl.pending.Add(-1)
+	pl.t.stats.failures.Add(1)
+	if stamp := tagStamp(e.Tag); stamp != 0 && pl.onLat != nil {
+		pl.onLat(pl.t.S.E.Now()-sim.Time(stamp-1), false)
+	}
+}
+
+// Ring tags carry the submission's latency stamp in the low 56 bits (+1
+// so tag 0 still means "no stamp" at virtual time zero — 2^56 ns is ~2
+// years of virtual time) and the fault-retry attempt count in the top 8,
+// so recovery needs no per-operation state.
+const (
+	tagAttemptShift = 56
+	tagStampMask    = uint64(1)<<tagAttemptShift - 1
+)
+
+// stampTag encodes a submission's latency stamp into the ring tag.
+func stampTag(at sim.Time) uint64 { return (uint64(at) + 1) & tagStampMask }
+
+// tagStamp extracts the latency stamp (0 = unstamped).
+func tagStamp(tag uint64) uint64 { return tag & tagStampMask }
+
+// tagAttempt extracts the fault-retry attempt count.
+func tagAttempt(tag uint64) int { return int(tag >> tagAttemptShift) }
+
+// tagRetry returns the tag for the next attempt, stamp preserved.
+func tagRetry(tag uint64) uint64 {
+	return tagStamp(tag) | uint64(tagAttempt(tag)+1)<<tagAttemptShift
+}
 
 // completed is the plane's completion hook (dsa.Completion.SetOnDone):
+// recover faulted completions within the policy's retry budget, then
 // score the stamped latency, decrement inflight, and wake waiters —
 // every wakeEvery-th completion, or immediately when the plane drains to
 // zero, mirroring how interrupt coalescing amortizes delivery.
-func (pl *Plane) completed(tag uint64) {
-	if tag != 0 {
-		lat := pl.t.S.E.Now() - sim.Time(tag-1)
-		pl.t.recordSLO(lat)
+func (pl *Plane) completed(c *dsa.Completion, tag uint64) {
+	rec := c.Record()
+	ok := rec.Status == dsa.StatusSuccess
+	if !ok && recoverableStatus(rec.Status) {
+		pl.t.stats.faults.Add(1)
+		pl.t.S.met.fault()
+		if pl.retryFault(c, rec, tag) {
+			return // remainder re-queued; the op is still in flight
+		}
+	}
+	if stamp := tagStamp(tag); stamp != 0 {
+		lat := pl.t.S.E.Now() - sim.Time(stamp-1)
+		if ok {
+			pl.t.recordSLO(lat)
+		} else {
+			pl.t.stats.failures.Add(1)
+		}
 		if pl.onLat != nil {
-			pl.onLat(lat)
+			pl.onLat(lat, ok)
 		}
 	}
 	left := pl.inflight.Add(-1)
 	if left == 0 || pl.compCount.Add(1)%pl.wakeEvery == 0 {
 		pl.doneSig.Broadcast(pl.t.S.E)
 	}
+}
+
+// retryFault re-queues the unfinished remainder of a faulted plane
+// submission onto a healthy ring, carrying the original latency stamp so
+// the recovered op's SLO span includes every retry round trip. Returns
+// false when the retry budget is exhausted or no ring can take it — the
+// completion then surfaces as a failure.
+func (pl *Plane) retryFault(c *dsa.Completion, rec dsa.CompletionRecord, tag uint64) bool {
+	if tagAttempt(tag) >= pl.t.policy.RetryMax {
+		return false
+	}
+	d := remainderOf(*c.Desc(), rec)
+	ntag := tagRetry(tag)
+	cands := pl.bulkCand
+	if pl.t.class == LatencySensitive {
+		cands = pl.lsCand
+	}
+	pushed := false
+	for _, j := range cands {
+		if !pl.dead[j].Load() && pl.wqs[j].Healthy() && pl.rings[j].TryPush(d, ntag) {
+			pushed = true
+			break
+		}
+	}
+	if !pushed {
+		// Candidate pool down or full: any healthy service ring will do —
+		// a cross-socket detour beats failing the op.
+		for j := range pl.rings {
+			if !pl.dead[j].Load() && pl.wqs[j].Healthy() && pl.rings[j].TryPush(d, ntag) {
+				pushed = true
+				break
+			}
+		}
+	}
+	if !pushed {
+		return false
+	}
+	pl.t.stats.retries.Add(1)
+	pl.t.S.met.retry()
+	pl.inflight.Add(-1)
+	pl.pending.Add(1)
+	pl.ensureDrain()
+	return true
 }
 
 // WaitInflight parks the process until at most max operations remain

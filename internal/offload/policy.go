@@ -128,6 +128,28 @@ type Policy struct {
 	// letting it re-schedule or shed load.
 	MaxRetries int
 
+	// RetryMax bounds fault recovery per operation: how many times a
+	// faulted completion (page-fault partial, WQ error, device offline)
+	// is re-submitted to hardware before the error surfaces through the
+	// Future (or the software fallback engages). Partial completions
+	// continue from CompletionRecord.BytesCompleted for byte-prefix ops
+	// (copy/fill/dualcast); result-producing ops re-run whole. Zero (the
+	// default) disables recovery: the first fault is terminal.
+	RetryMax int
+
+	// RetryBackoff is the virtual-time pause between fault retries on the
+	// Future path (the sharded plane re-queues remainders immediately —
+	// the ring round trip is its backoff). Zero retries immediately.
+	RetryBackoff time.Duration
+
+	// FallbackAfter, when positive, runs the remainder of an operation on
+	// the submitting core after that many consecutive faulted hardware
+	// attempts, bounding worst-case latency under a fault storm the way
+	// production offload libraries degrade to memcpy. It engages within
+	// the RetryMax budget (a fallback is the terminal attempt) and only
+	// for ops with a software equivalent (see Tenant recovery).
+	FallbackAfter int
+
 	// SLOBudget, when positive, is the tenant's per-operation completion
 	// latency budget — the per-QoS-class p99 target the fleet scenarios
 	// gate on. Every resolved operation (hardware, software, plane- or
@@ -193,6 +215,17 @@ type Stats struct {
 	// latency sketches.
 	SLOOk   int64
 	SLOMiss int64
+
+	// Fault-recovery counters (see Policy.RetryMax/FallbackAfter and
+	// Plane failover). Faults counts faulted hardware completions
+	// observed; Retries the hardware re-submissions recovery issued;
+	// Fallbacks the operations finished on-core after consecutive
+	// faults; Failovers the WQ-death events where a plane drain detached
+	// a dead ring and redistributed its entries.
+	Faults    int64
+	Retries   int64
+	Fallbacks int64
+	Failovers int64
 }
 
 // statCounters is the tenant's live counter storage. The fields mirror
@@ -212,6 +245,10 @@ type statCounters struct {
 	pipelines        atomic.Int64
 	admitWakeups     atomic.Int64
 	sloOk, sloMiss   atomic.Int64
+	faults           atomic.Int64
+	retries          atomic.Int64
+	fallbacks        atomic.Int64
+	failovers        atomic.Int64
 }
 
 // snapshot assembles the public Stats view from atomic loads.
@@ -231,5 +268,9 @@ func (c *statCounters) snapshot() Stats {
 		AdmitWakeups: c.admitWakeups.Load(),
 		SLOOk:        c.sloOk.Load(),
 		SLOMiss:      c.sloMiss.Load(),
+		Faults:       c.faults.Load(),
+		Retries:      c.retries.Load(),
+		Fallbacks:    c.fallbacks.Load(),
+		Failovers:    c.failovers.Load(),
 	}
 }

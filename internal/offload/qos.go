@@ -148,10 +148,19 @@ func pickExpress(req Request, socket int, wqs []*dsa.WQ, offset int) *dsa.WQ {
 		// traffic entirely, so the classes share the pool.
 		return leastLoadedOf(pool, offset)
 	}
-	if req.Class == LatencySensitive {
-		return leastLoadedOf(express, offset)
+	primary, alt := express, rest
+	if req.Class != LatencySensitive {
+		primary, alt = rest, express
 	}
-	return leastLoadedOf(rest, offset)
+	if wq := leastLoadedHealthy(primary, offset); wq != nil {
+		return wq
+	}
+	// The class partition is inside a fault window: crossing the QoS
+	// split — and, failing that, the socket — beats a dead queue.
+	if wq := leastLoadedHealthy(alt, offset); wq != nil {
+		return wq
+	}
+	return leastLoadedOf(wqs, offset)
 }
 
 // splitByPriority partitions wqs into the top-priority set (the reserved

@@ -77,11 +77,19 @@ func (r *RoundRobin) Name() string { return "round-robin" }
 
 // Pick implements Scheduler.
 func (r *RoundRobin) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
-	wq := wqs[r.next%len(wqs)]
+	n := len(wqs)
+	i := r.next % n
 	// Wrap instead of growing forever: a long simulation would otherwise
 	// overflow the counter (and modulo of a negative index panics).
-	r.next = (r.next + 1) % len(wqs)
-	return wq
+	r.next = (r.next + 1) % n
+	// Skip WQs inside a fault window (two atomic loads per probe, no
+	// allocation); with everything healthy the pick is the plain rotation.
+	for k := 0; k < n; k++ {
+		if wq := wqs[(i+k)%n]; wq.Healthy() {
+			return wq
+		}
+	}
+	return wqs[i]
 }
 
 // NUMALocal prefers WQs whose device sits on the submitting tenant's
@@ -100,9 +108,22 @@ func (s *NUMALocal) Name() string { return "numa-local" }
 // Pick implements Scheduler.
 func (s *NUMALocal) Pick(req Request, wqs []*dsa.WQ) *dsa.WQ {
 	local := req.localPool(req.Socket, wqs)
-	wq := local[s.next[req.Socket]%len(local)]
-	s.next[req.Socket] = (s.next[req.Socket] + 1) % len(local)
-	return wq
+	n := len(local)
+	i := s.next[req.Socket] % n
+	s.next[req.Socket] = (i + 1) % n
+	for k := 0; k < n; k++ {
+		if wq := local[(i+k)%n]; wq.Healthy() {
+			return wq
+		}
+	}
+	// The whole local pool is inside a fault window: crossing UPI to a
+	// healthy remote WQ beats submitting into a dead queue.
+	for k := 0; k < len(wqs); k++ {
+		if wq := wqs[(i+k)%len(wqs)]; wq.Healthy() {
+			return wq
+		}
+	}
+	return local[i]
 }
 
 // LeastLoaded picks the WQ with the fewest occupied entries, breaking ties
@@ -141,19 +162,32 @@ func localWQs(socket int, wqs []*dsa.WQ) []*dsa.WQ {
 	return local
 }
 
-// leastLoadedOf returns the WQ with the fewest occupied entries, scanning
-// from the rotating offset so ties spread round-robin. The index wraps by
-// comparison, not by a modulo per element — this runs on every submission.
+// leastLoadedOf returns the healthy WQ with the fewest occupied entries,
+// scanning from the rotating offset so ties spread round-robin. When the
+// whole pool is inside a fault window it returns the rotation pick — the
+// submission fails fast with the WQ's fault sentinel and recovery (or
+// the caller) deals with it. The index wraps by comparison, not by a
+// modulo per element — this runs on every submission.
 func leastLoadedOf(wqs []*dsa.WQ, offset int) *dsa.WQ {
+	if wq := leastLoadedHealthy(wqs, offset); wq != nil {
+		return wq
+	}
+	return wqs[offset%len(wqs)]
+}
+
+// leastLoadedHealthy is leastLoadedOf restricted to healthy WQs, returning
+// nil when the pool is entirely inside a fault window. Allocation-free:
+// the health probe is two atomic flag loads per WQ.
+func leastLoadedHealthy(wqs []*dsa.WQ, offset int) *dsa.WQ {
 	n := len(wqs)
 	i := offset % n
-	best := wqs[i]
-	for k := 1; k < n; k++ {
+	var best *dsa.WQ
+	for k := 0; k < n; k++ {
+		if wq := wqs[i]; wq.Healthy() && (best == nil || wq.Occupancy() < best.Occupancy()) {
+			best = wq
+		}
 		if i++; i == n {
 			i = 0
-		}
-		if wqs[i].Occupancy() < best.Occupancy() {
-			best = wqs[i]
 		}
 	}
 	return best

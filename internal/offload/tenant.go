@@ -390,7 +390,7 @@ func (t *Tenant) dispatch(p *sim.Proc, d dsa.Descriptor, req Request) (*Future, 
 	}
 	t.stats.hwOps.Add(1)
 	t.stats.hwBytes.Add(d.Size)
-	return &Future{t: t, cl: cl, comp: comp, op: d.Op, start: start}, nil
+	return &Future{t: t, cl: cl, comp: comp, op: d.Op, start: start, d: d}, nil
 }
 
 // sw wraps a completed software-path result, charging the core time.

@@ -337,6 +337,123 @@ func TestFleetGatesCatchInjectedRegression(t *testing.T) {
 	}
 }
 
+// TestChaosGatesCatchInjectedRegression pins the chaos gates the same
+// way: the committed baseline passes its own gates, a defused-recovery
+// regression (attained collapsing to the negative control) fails the
+// SLO-preservation gate, and a recovery slowdown past the window budget
+// fails the bounded-recovery gate.
+func TestChaosGatesCatchInjectedRegression(t *testing.T) {
+	gateData, err := os.ReadFile(filepath.Join("..", "..", "bench", "baseline", "gates.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ParseGates(gateData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gates, sloGates, recGates []Gate
+	for _, g := range all {
+		if g.Experiment != "chaos" {
+			continue
+		}
+		gates = append(gates, g)
+		switch g.Table {
+		case "chaos-slo":
+			sloGates = append(sloGates, g)
+		case "chaos-recovery":
+			recGates = append(recGates, g)
+		}
+	}
+	if len(sloGates) < 2 || len(recGates) < 1 {
+		t.Fatalf("gates.json asserts %d chaos-slo and %d chaos-recovery gates, want >=2 and >=1",
+			len(sloGates), len(recGates))
+	}
+
+	benchData, err := os.ReadFile(filepath.Join("..", "..", "bench", "baseline", "BENCH_chaos.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base BenchDoc
+	if err := json.Unmarshal(benchData, &base); err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]BenchDoc{"chaos": base}
+	for _, r := range CompareGates(gates, docs, docs, 0.15) {
+		if r.Failed {
+			t.Errorf("committed baseline fails its own gate %v: %s", r.Gate, r.Reason)
+		}
+	}
+
+	// retable deep-copies the baseline doc so each injection is isolated.
+	retable := func() BenchDoc {
+		broken := base
+		broken.Tables = make([]BenchTable, len(base.Tables))
+		copy(broken.Tables, base.Tables)
+		for i := range broken.Tables {
+			pts := make([]BenchPoint, len(broken.Tables[i].Points))
+			copy(pts, broken.Tables[i].Points)
+			broken.Tables[i].Points = pts
+		}
+		return broken
+	}
+
+	// Regression 1: recovery defused — attained collapses to the negative
+	// control's value. The attained/faultfree preservation gate must trip.
+	defused := retable()
+	for i := range defused.Tables {
+		tbl := &defused.Tables[i]
+		if tbl.ID != "chaos-slo" {
+			continue
+		}
+		control := make(map[string]float64)
+		for _, p := range tbl.Points {
+			if p.Series == "defused" {
+				control[p.Label] = p.Y
+			}
+		}
+		for j := range tbl.Points {
+			if tbl.Points[j].Series == "attained" {
+				tbl.Points[j].Y = control[tbl.Points[j].Label]
+			}
+		}
+	}
+	caught := false
+	for _, r := range CompareGates(sloGates, docs, map[string]BenchDoc{"chaos": defused}, 0.15) {
+		if r.Missing {
+			t.Errorf("defused regression misclassified as missing data: %v", r.Gate)
+		}
+		caught = caught || r.Failed
+	}
+	if !caught {
+		t.Error("attained collapsed to the defused control yet every chaos-slo gate passed")
+	}
+
+	// Regression 2: recovery takes longer than the budgeted windows.
+	slow := retable()
+	for i := range slow.Tables {
+		tbl := &slow.Tables[i]
+		if tbl.ID != "chaos-recovery" {
+			continue
+		}
+		var budget float64
+		for _, p := range tbl.Points {
+			if p.Series == "recovery-budget-w" {
+				budget = p.Y
+			}
+		}
+		for j := range tbl.Points {
+			if tbl.Points[j].Series == "recovery-spent-w" {
+				tbl.Points[j].Y = budget + 6
+			}
+		}
+	}
+	for _, r := range CompareGates(recGates, docs, map[string]BenchDoc{"chaos": slow}, 0.15) {
+		if !r.Failed {
+			t.Errorf("recovery blew its window budget yet passed gate %v (current %.2fx)", r.Gate, r.Current)
+		}
+	}
+}
+
 func TestParseGates(t *testing.T) {
 	gates, err := ParseGates([]byte(`{"gates":[{"experiment":"skew","table":"skew","x":"16","series":"placement-load","against":"placement"}]}`))
 	if err != nil {
